@@ -1,0 +1,46 @@
+"""Ablation — cascade depth via the cap threshold.
+
+A larger cap threshold stops the cascade earlier: fewer, larger graph
+layers plus a bigger Reed-Solomon cap.  Deeper cascades decode faster
+(smaller RS solve) but add more near-threshold layers; this bench
+records overhead and decode time across thresholds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.tornado.code import TornadoCode
+from repro.codes.tornado.degree import two_point_distribution
+from repro.sim.overhead import sample_decode_thresholds
+
+K = 600
+THRESHOLDS = [64, 128, 256]
+
+
+@pytest.mark.parametrize("cap_threshold", THRESHOLDS)
+def test_cap_threshold_overhead(benchmark, cap_threshold):
+    code = TornadoCode(K, degree_dist=two_point_distribution(3, 20, 0.30),
+                       cap_threshold=cap_threshold, seed=0)
+
+    def measure():
+        thresholds = sample_decode_thresholds(code, 8, rng=1)
+        return float(thresholds.mean() / K - 1)
+
+    overhead = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["layers"] = code.structure.layer_sizes
+    benchmark.extra_info["cap_size"] = code.structure.cap_size
+    benchmark.extra_info["mean_overhead"] = overhead
+
+
+@pytest.mark.parametrize("cap_threshold", THRESHOLDS)
+def test_cap_threshold_decode_time(benchmark, cap_threshold):
+    code = TornadoCode(K, degree_dist=two_point_distribution(3, 20, 0.30),
+                       cap_threshold=cap_threshold, seed=0)
+    rng = np.random.default_rng(2)
+    source = rng.integers(0, 256, size=(K, 256), dtype=np.uint8)
+    encoding = code.encode(source)
+    order = rng.permutation(code.n)
+    needed = code.packets_to_decode(order)
+    received = {int(i): encoding[i] for i in order[:needed]}
+    result = benchmark(code.decode, received)
+    assert np.array_equal(result, source)

@@ -1,0 +1,35 @@
+"""Ablation — field size for Reed-Solomon: GF(2^8) vs GF(2^16).
+
+Interleaved blocks fit in GF(2^8) (fast dense multiplication table);
+whole-file RS needs GF(2^16) (log/exp gathers).  This measures the cost
+gap, which is part of why the paper's interleaved baseline keeps blocks
+small.
+"""
+
+import pytest
+
+from conftest import random_source
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.gf import GF256, GF65536
+
+K = 100
+PAYLOAD = 512
+
+
+@pytest.mark.parametrize("field", [GF256, GF65536], ids=["gf256", "gf65536"])
+def test_rs_encode_by_field(benchmark, field):
+    code = ReedSolomonCode(K, 2 * K, "cauchy", field=field)
+    source = random_source(K, PAYLOAD // field.dtype.itemsize, field.dtype)
+    benchmark(code.encode, source)
+
+
+@pytest.mark.parametrize("field", [GF256, GF65536], ids=["gf256", "gf65536"])
+def test_rs_decode_by_field(benchmark, field):
+    code = ReedSolomonCode(K, 2 * K, "cauchy", field=field)
+    source = random_source(K, PAYLOAD // field.dtype.itemsize, field.dtype)
+    encoding = code.encode(source)
+    half = K // 2
+    received = {i: encoding[i] for i in range(half)}
+    for j in range(K - half):
+        received[K + j] = encoding[K + j]
+    benchmark(code.decode, received)

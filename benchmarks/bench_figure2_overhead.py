@@ -1,0 +1,55 @@
+"""Figure 2 — reception-overhead sampling for Tornado A and B.
+
+Benchmarks one threshold measurement per code (the unit of the 10,000-run
+figure) and records the measured overhead statistics as extra info.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.tornado.presets import tornado_a, tornado_b
+from repro.sim.overhead import overhead_statistics, sample_decode_thresholds
+
+K = 1024
+
+
+@pytest.mark.parametrize("preset", [tornado_a, tornado_b],
+                         ids=["tornado_a", "tornado_b"])
+def test_threshold_measurement(benchmark, preset):
+    code = preset(K, seed=0)
+    rng = np.random.default_rng(1)
+
+    def one_trial():
+        return code.packets_to_decode(rng.permutation(code.n))
+
+    threshold = benchmark(one_trial)
+    assert K <= threshold <= code.n
+
+
+@pytest.mark.parametrize("preset", [tornado_a, tornado_b],
+                         ids=["tornado_a", "tornado_b"])
+def test_overhead_statistics_batch(benchmark, preset):
+    code = preset(K, seed=0)
+
+    def batch():
+        thresholds = sample_decode_thresholds(code, 12, rng=2)
+        return overhead_statistics(thresholds, K)
+
+    stats = benchmark.pedantic(batch, rounds=1, iterations=1)
+    benchmark.extra_info["mean_overhead"] = stats.mean
+    benchmark.extra_info["max_overhead"] = stats.maximum
+    assert stats.mean > 0
+
+
+def test_b_overhead_below_a(benchmark):
+    """The A/B trade-off (B lower overhead) holds, measured."""
+
+    def compare():
+        a = sample_decode_thresholds(tornado_a(K, seed=0), 10, rng=3)
+        b = sample_decode_thresholds(tornado_b(K, seed=0), 10, rng=3)
+        return float(a.mean()), float(b.mean())
+
+    a_mean, b_mean = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["a_mean_overhead"] = a_mean / K - 1
+    benchmark.extra_info["b_mean_overhead"] = b_mean / K - 1
+    assert b_mean < a_mean

@@ -1,0 +1,47 @@
+"""Figure 6 — trace-driven reception over the synthetic MBone traces."""
+
+import pytest
+
+from repro.codes.interleaved import InterleavedCode
+from repro.codes.tornado.presets import tornado_a
+from repro.net.traces import synthesize_mbone_traces
+from repro.sim.overhead import ThresholdPool
+from repro.sim.tracesim import (
+    trace_fountain_efficiency,
+    trace_interleaved_efficiency,
+)
+
+K = 400
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return synthesize_mbone_traces(30, 40_000, rng=0)
+
+
+def test_trace_synthesis(benchmark):
+    trace_set = benchmark.pedantic(synthesize_mbone_traces,
+                                   args=(30, 40_000),
+                                   kwargs={"rng": 1},
+                                   rounds=1, iterations=1)
+    benchmark.extra_info["avg_loss"] = trace_set.average_loss_rate()
+
+
+def test_fountain_on_traces(benchmark, traces):
+    pool = ThresholdPool.for_code(tornado_a(K, seed=0), trials=12, rng=2)
+    result = benchmark.pedantic(trace_fountain_efficiency,
+                                args=(pool, 2 * K, traces),
+                                kwargs={"rng": 3},
+                                rounds=1, iterations=1)
+    benchmark.extra_info["avg_efficiency"] = result.average_efficiency
+    assert result.completed_receivers > 0
+
+
+def test_interleaved_on_traces(benchmark, traces):
+    code = InterleavedCode(K, 20)
+    result = benchmark.pedantic(trace_interleaved_efficiency,
+                                args=(code, traces),
+                                kwargs={"rng": 4},
+                                rounds=1, iterations=1)
+    benchmark.extra_info["avg_efficiency"] = result.average_efficiency
+    assert result.completed_receivers > 0

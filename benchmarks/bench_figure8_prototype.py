@@ -1,0 +1,50 @@
+"""Figure 8 — prototype session simulations, single-layer and 4-layer."""
+
+import numpy as np
+import pytest
+
+from repro.codes.tornado.presets import tornado_a
+from repro.protocol.session import run_session, run_single_layer_session
+
+K = 600
+
+
+@pytest.fixture(scope="module")
+def code():
+    return tornado_a(K, seed=0)
+
+
+def test_single_layer_session(benchmark, code):
+    results = benchmark.pedantic(
+        run_single_layer_session,
+        args=(code, [0.05, 0.3, 0.6]),
+        kwargs={"seed": 1},
+        rounds=1, iterations=1)
+    assert all(r.completed for r in results)
+    low = min(results, key=lambda r: r.observed_loss)
+    benchmark.extra_info["low_loss_eta_d"] = low.distinctness_efficiency
+    assert low.distinctness_efficiency == pytest.approx(1.0)
+
+
+def test_layered_session(benchmark, code):
+    ambient = [0.02, 0.08, 0.15, 0.25]
+    capacity = [8.0, 5.0, 2.5, 1.5]
+    results = benchmark.pedantic(
+        run_session,
+        args=(code, ambient, capacity),
+        kwargs={"seed": 2},
+        rounds=1, iterations=1)
+    assert all(r.completed for r in results)
+    benchmark.extra_info["mean_eta"] = float(
+        np.mean([r.efficiency for r in results]))
+
+
+def test_one_level_property_claim(benchmark, code):
+    """Below 50% loss, single-layer receivers see no duplicates."""
+
+    def etas():
+        results = run_single_layer_session(code, [0.1, 0.25, 0.4], seed=3)
+        return [r.distinctness_efficiency for r in results]
+
+    values = benchmark.pedantic(etas, rounds=1, iterations=1)
+    assert all(v == pytest.approx(1.0) for v in values)

@@ -1,0 +1,43 @@
+"""Table 1 — basic-operation cost: XOR vs GF(2^m) multiplication.
+
+The last row of Table 1 credits Tornado's speed to its basic operation
+being "Simple XOR" versus Reed-Solomon's "Complex field operations";
+these benchmarks measure the two kernels on identical data volumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF256, GF65536
+
+PAYLOAD = 1 << 16
+
+
+@pytest.fixture
+def blocks():
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, 256, size=PAYLOAD, dtype=np.uint8)
+    b = gen.integers(0, 256, size=PAYLOAD, dtype=np.uint8)
+    return a, b
+
+
+def test_xor_kernel(benchmark, blocks):
+    a, b = blocks
+    benchmark(np.bitwise_xor, a, b)
+
+
+def test_gf256_mul_kernel(benchmark, blocks):
+    a, b = blocks
+    benchmark(GF256.mul_vec, a, b)
+
+
+def test_gf256_scalar_mul_kernel(benchmark, blocks):
+    a, _ = blocks
+    benchmark(GF256.scalar_mul_vec, 37, a)
+
+
+def test_gf65536_mul_kernel(benchmark, blocks):
+    a, b = blocks
+    a16 = a.astype(np.uint16)
+    b16 = b.astype(np.uint16)
+    benchmark(GF65536.mul_vec, a16, b16)

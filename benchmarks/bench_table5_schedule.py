@@ -1,0 +1,32 @@
+"""Table 5 — schedule generation and the One Level Property check."""
+
+import pytest
+
+from repro.experiments.table5 import PAPER_TABLE5
+from repro.protocol.layering import LayerConfig
+from repro.protocol.schedule import (
+    table5_matrix,
+    transmission_stream,
+    verify_one_level_property,
+)
+
+
+def test_schedule_matrix(benchmark):
+    matrix = benchmark(table5_matrix, 4, 8)
+    assert matrix == PAPER_TABLE5
+
+
+def test_one_level_property_check(benchmark):
+    config = LayerConfig(4)
+    ok = benchmark(verify_one_level_property, config, 512)
+    assert ok
+
+
+def test_stream_generation(benchmark):
+    config = LayerConfig(4)
+
+    def consume():
+        return sum(1 for _ in transmission_stream(3, config, 1024, 8))
+
+    count = benchmark(consume)
+    assert count == 8 * 4 * (1024 // 8)

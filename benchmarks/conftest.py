@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` file regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  Benchmarks are sized to finish in
+seconds; the experiment runners under ``repro.experiments`` accept
+flags to reach full paper scale.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_source(k, payload, dtype=np.uint8, seed=0):
+    gen = np.random.default_rng(seed)
+    hi = int(np.iinfo(dtype).max) + 1
+    return gen.integers(0, hi, size=(k, payload)).astype(dtype)

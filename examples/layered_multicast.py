@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The paper's Section 7 prototype: layered multicast with congestion control.
+
+Four multicast layers at geometric rates carry a Tornado-encoded file
+using the reverse-binary schedule (Table 5).  Receivers with different
+bottleneck capacities climb and drop subscription levels at
+synchronization points, guided by sender bursts — no feedback channel.
+The output mirrors Figure 8's metrics per receiver.
+
+Run:  python examples/layered_multicast.py
+"""
+
+import numpy as np
+
+from repro import tornado_a
+from repro.experiments.table5 import PAPER_TABLE5
+from repro.protocol.schedule import table5_matrix
+from repro.protocol.session import run_session, run_single_layer_session
+
+K = 1200
+SEED = 5
+
+
+def main() -> None:
+    print("Reverse-binary schedule (Table 5 of the paper):")
+    for layer, row in zip((3, 2, 1, 0), table5_matrix()):
+        print(f"  layer {layer}: {' '.join(c.rjust(3) for c in row)}")
+    assert table5_matrix() == PAPER_TABLE5
+
+    code = tornado_a(K, seed=SEED)
+
+    print("\nSingle-layer sessions (fixed rate, ambient loss only):")
+    results = run_single_layer_session(code, [0.05, 0.25, 0.45, 0.65],
+                                       seed=SEED)
+    for r in results:
+        print("  " + r.as_row())
+    print("  note eta_d = 100% below 50% loss — the One Level Property")
+
+    print("\n4-layer sessions (SP/burst congestion control):")
+    rng = np.random.default_rng(SEED)
+    ambient = rng.uniform(0.0, 0.3, size=8)
+    capacity = rng.uniform(1.3, 9.0, size=8)
+    results = run_session(code, ambient.tolist(), capacity.tolist(),
+                          seed=SEED)
+    for r in results:
+        print(f"  {r.as_row()}  level changes: {r.level_changes}")
+    completed = sum(r.completed for r in results)
+    print(f"\n{completed}/{len(results)} receivers completed the download "
+          "with no retransmission requests")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Downloading from multiple mirror sites at once (paper Section 8).
+
+"If the sources use ideal digital fountains to transmit the data,
+clients can access multiple sources simultaneously, and aggregate all
+the packets they receive to recover the data efficiently."  The catch
+the paper notes: with a small stretch factor the mirrors' carousels
+overlap, so some received packets are duplicates.  This example
+measures exactly that trade-off: download speedup from aggregation
+versus the duplicate rate, for mirrors that share one code.
+
+Run:  python examples/mirrored_servers.py
+"""
+
+import numpy as np
+
+from repro import tornado_a
+from repro.fountain.carousel import CarouselServer
+from repro.net.loss import BernoulliLoss
+
+K = 1000
+SEED = 9
+
+
+def download(code, servers, loss, horizon, rng):
+    """Interleave the servers' streams; return (slots, received, distinct).
+
+    One wall-clock slot delivers one packet from *each* mirror (they
+    transmit in parallel), subject to loss.
+    """
+    decoder = code.new_decoder()
+    streams = [srv.index_stream(horizon) for srv in servers]
+    total = 0
+    for slot in range(horizon):
+        for stream in streams:
+            if loss.losses(1, rng)[0]:
+                continue
+            total += 1
+            decoder.add_packet(int(stream[slot]))
+            if decoder.is_complete:
+                return slot + 1, total, decoder.packets_added
+    raise RuntimeError("download did not complete")
+
+
+def main() -> None:
+    code = tornado_a(K, seed=SEED)
+    loss = BernoulliLoss(0.15)
+    rng = np.random.default_rng(4)
+
+    print(f"{'mirrors':>8}  {'slots':>6}  {'speedup':>8}  {'received':>9}  "
+          f"{'duplicates':>10}")
+    base_slots = None
+    for mirrors in (1, 2, 3, 4):
+        # Each mirror carousels the same encoding in its own random order.
+        servers = [CarouselServer(code, seed=100 + m) for m in range(mirrors)]
+        slots, total, distinct = download(code, servers, loss,
+                                          horizon=4 * code.n, rng=rng)
+        if base_slots is None:
+            base_slots = slots
+        print(f"{mirrors:>8}  {slots:>6}  {base_slots / slots:>8.2f}x  "
+              f"{total:>9}  {total - distinct:>10}")
+    print("\naggregation cuts download time; duplicates stay modest because")
+    print("each mirror permutes the same stretch-2 encoding independently")
+    print("(the paper's Section 8 notes bigger stretch factors reduce them")
+    print("further at the cost of decoder memory)")
+
+
+if __name__ == "__main__":
+    main()

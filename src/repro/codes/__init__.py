@@ -1,0 +1,28 @@
+"""Erasure codes: the paper's Tornado codes plus every baseline it measures.
+
+* :mod:`repro.codes.reed_solomon` — systematic Reed-Solomon erasure codes
+  in the two constructions benchmarked in Tables 2/3 (Vandermonde [16] and
+  Cauchy [2]).
+* :mod:`repro.codes.tornado` — Tornado codes (Section 5): cascades of
+  sparse random bipartite graphs decoded by XOR peeling, with the
+  Tornado A / Tornado B presets.
+* :mod:`repro.codes.interleaved` — the interleaved block-code baseline of
+  Section 6 (Nonnenmacher/Biersack/Towsley-style).
+"""
+
+from repro.codes.base import ErasureCode, ReceivedPacket
+from repro.codes.reed_solomon import ReedSolomonCode, vandermonde_code, cauchy_code
+from repro.codes.interleaved import InterleavedCode
+from repro.codes.tornado import TornadoCode, tornado_a, tornado_b
+
+__all__ = [
+    "ErasureCode",
+    "ReceivedPacket",
+    "ReedSolomonCode",
+    "vandermonde_code",
+    "cauchy_code",
+    "InterleavedCode",
+    "TornadoCode",
+    "tornado_a",
+    "tornado_b",
+]

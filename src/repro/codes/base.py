@@ -1,0 +1,139 @@
+"""Common erasure-code interface.
+
+Terminology follows Section 4 of the paper: a code takes source data of
+``k`` packets and produces ``n = k + l`` encoding packets of a fixed
+length ``P``; ``n / k`` is the *stretch factor*.  All codes here are
+systematic — the first ``k`` encoding packets are the source packets —
+matching every construction the paper benchmarks.
+
+Packets are numpy arrays of unsigned integers.  A "block of packets" is a
+2-D array of shape ``(count, P)`` so whole-block XOR and field operations
+vectorise.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ReceivedPacket:
+    """One encoding packet as seen by a decoder: its index and payload."""
+
+    index: int
+    payload: np.ndarray
+
+
+def as_packet_block(data: np.ndarray, k: int, dtype=np.uint8) -> np.ndarray:
+    """Validate/convert ``data`` into a ``(k, P)`` packet block."""
+    arr = np.asarray(data, dtype=dtype)
+    if arr.ndim != 2 or arr.shape[0] != k:
+        raise ParameterError(
+            f"expected a ({k}, P) packet block, got shape {arr.shape}")
+    return arr
+
+
+def bytes_to_packets(data: bytes, packet_size: int,
+                     dtype=np.uint8) -> np.ndarray:
+    """Split a byte string into fixed-size packets, zero-padding the tail.
+
+    The inverse operation is :func:`packets_to_bytes` with the original
+    length.  ``packet_size`` is in bytes; for uint16 symbol packets it must
+    be even.
+    """
+    if packet_size <= 0:
+        raise ParameterError("packet_size must be positive")
+    itemsize = np.dtype(dtype).itemsize
+    if packet_size % itemsize:
+        raise ParameterError(
+            f"packet_size {packet_size} not a multiple of symbol size {itemsize}")
+    padded_len = -(-len(data) // packet_size) * packet_size
+    buf = np.frombuffer(data.ljust(padded_len, b"\0"), dtype=np.uint8)
+    packets = buf.reshape(-1, packet_size)
+    if itemsize == 1:
+        return packets.copy()
+    return packets.copy().view(dtype).reshape(packets.shape[0], -1)
+
+
+def packets_to_bytes(packets: np.ndarray, length: Optional[int] = None) -> bytes:
+    """Concatenate a packet block back into bytes, trimming padding."""
+    raw = np.ascontiguousarray(packets).view(np.uint8).tobytes()
+    return raw if length is None else raw[:length]
+
+
+class ErasureCode(abc.ABC):
+    """Abstract systematic erasure code over fixed-length packets.
+
+    Concrete codes provide:
+
+    * :meth:`encode` — source block ``(k, P)`` to encoding block ``(n, P)``.
+    * :meth:`decode` — a mapping of received packet indices to payloads
+      back to the source block, raising :class:`~repro.errors.DecodeFailure`
+      when the received set is insufficient.
+    * :meth:`is_decodable` — the *structural* question (does this set of
+      indices determine the source data?) answered without touching
+      payloads.  The large-scale simulations of Sections 6 use this.
+    """
+
+    #: number of source packets
+    k: int
+    #: number of encoding packets
+    n: int
+
+    @property
+    def redundancy(self) -> int:
+        """Number of redundant packets ``l = n - k``."""
+        return self.n - self.k
+
+    @property
+    def stretch_factor(self) -> float:
+        """The ratio n/k the paper calls the stretch factor."""
+        return self.n / self.k
+
+    @abc.abstractmethod
+    def encode(self, source: np.ndarray) -> np.ndarray:
+        """Produce the ``(n, P)`` encoding of a ``(k, P)`` source block."""
+
+    @abc.abstractmethod
+    def decode(self, received: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Reconstruct the ``(k, P)`` source block from received packets."""
+
+    @abc.abstractmethod
+    def is_decodable(self, indices: Iterable[int]) -> bool:
+        """True when the packet index set determines the source data."""
+
+    def packets_to_decode(self, arrival_order: Sequence[int]) -> int:
+        """Number of leading packets of ``arrival_order`` needed to decode.
+
+        ``arrival_order`` lists *distinct* encoding packet indices in the
+        order they arrive.  Returns the smallest prefix length whose index
+        set is decodable.  Decodability is monotone in the received set,
+        so a binary search over prefixes is valid; subclasses with
+        incremental decoders override this with an O(edges) scan.
+        """
+        lo, hi = self.k, len(arrival_order)
+        if not self.is_decodable(arrival_order[:hi]):
+            raise ValueError("arrival order never becomes decodable")
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.is_decodable(arrival_order[:mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def decode_packets(self, packets: Iterable[ReceivedPacket]) -> np.ndarray:
+        """Convenience wrapper accepting :class:`ReceivedPacket` objects."""
+        received: Dict[int, np.ndarray] = {}
+        for pkt in packets:
+            received[pkt.index] = pkt.payload
+        return self.decode(received)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(k={self.k}, n={self.n})"

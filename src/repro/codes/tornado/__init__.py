@@ -1,0 +1,49 @@
+"""Tornado codes (paper Section 5).
+
+A Tornado code stretches ``k`` source packets into ``n = c*k`` encoding
+packets using a cascade of sparse random bipartite graphs (Figure 1):
+each layer's packets are XORs of their graph neighbours in the previous
+layer, and the final graph layer is protected by a small conventional
+erasure code (the *cap*).  Decoding is the classic peeling process —
+recover a packet whenever it is the only unknown in some XOR equation —
+plus one cap solve; total work is O(edges) XORs, i.e. linear in the
+encoding length, versus the quadratic field arithmetic of Reed-Solomon.
+
+The price is a small *reception overhead* epsilon: roughly ``(1+eps)*k``
+received packets are needed instead of exactly ``k`` (Figure 2 shows its
+distribution).  The :func:`tornado_a` and :func:`tornado_b` presets mirror
+the paper's two operating points: A decodes faster at ~5% average
+overhead, B decodes slower at ~3%.
+"""
+
+from repro.codes.tornado.degree import (
+    DegreeDistribution,
+    heavy_tail_distribution,
+    regular_distribution,
+)
+from repro.codes.tornado.graph import BipartiteGraph, CascadeStructure, build_cascade
+from repro.codes.tornado.decoder import PeelingDecoder
+from repro.codes.tornado.code import TornadoCode
+from repro.codes.tornado.presets import tornado_a, tornado_b, TORNADO_PRESETS
+from repro.codes.tornado.analysis import (
+    asymptotic_threshold,
+    density_evolution_converges,
+    finite_length_threshold,
+)
+
+__all__ = [
+    "DegreeDistribution",
+    "heavy_tail_distribution",
+    "regular_distribution",
+    "BipartiteGraph",
+    "CascadeStructure",
+    "build_cascade",
+    "PeelingDecoder",
+    "TornadoCode",
+    "tornado_a",
+    "tornado_b",
+    "TORNADO_PRESETS",
+    "asymptotic_threshold",
+    "density_evolution_converges",
+    "finite_length_threshold",
+]

@@ -1,0 +1,171 @@
+"""Degree-distribution design by linear programming.
+
+Luby et al. [8, 9] analyse peeling decoding with *density evolution*: on
+a bipartite graph whose left edge-degree distribution is
+``lambda(x) = sum_i lambda_i x^(i-1)`` and right edge-degree distribution
+``rho(x)``, a random loss of a ``delta`` fraction of left nodes (with all
+right values known) is recovered iff
+
+    delta * lambda(1 - rho(1 - x)) < x   for all x in (0, delta].
+
+For a *fixed* right side, the constraint set is linear in the lambda_i,
+so the best left distribution for a target loss ``delta`` is a linear
+program — the classical way these codes are designed.  This module runs
+that LP (scipy) and is used to generate the shipped preset distributions;
+the presets themselves embed the resulting pmfs so library users don't
+pay the LP at import time.
+
+Right sides here are *near-regular* (the configuration model in
+:mod:`repro.codes.tornado.graph` spreads edges as evenly as possible),
+i.e. a mix of two consecutive degrees, and the average right degree is
+tied to the average left degree by the layer ratio beta:
+
+    avg_right = avg_left / beta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.codes.tornado.degree import DegreeDistribution
+from repro.errors import ParameterError
+
+
+def edge_to_node_distribution(degrees: np.ndarray,
+                              edge_fractions: np.ndarray) -> DegreeDistribution:
+    """Convert an edge-degree pmf (lambda_i) to a node-degree pmf.
+
+    A fraction ``lambda_i`` of edges touch degree-i nodes, so the node
+    pmf is proportional to ``lambda_i / i``.
+    """
+    weights = edge_fractions / degrees
+    weights = weights / weights.sum()
+    keep = weights > 1e-12
+    return DegreeDistribution(tuple(int(d) for d in degrees[keep]),
+                              tuple(float(w) for w in weights[keep]
+                                    / weights[keep].sum()))
+
+
+def node_to_edge_fractions(dist: DegreeDistribution) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`edge_to_node_distribution`."""
+    degrees = np.asarray(dist.degrees, dtype=float)
+    probs = np.asarray(dist.probabilities, dtype=float)
+    lam = degrees * probs
+    return degrees.astype(int), lam / lam.sum()
+
+
+def rho_polynomial(avg_right: float, x: np.ndarray) -> np.ndarray:
+    """Edge-degree polynomial rho(x) of a near-regular right side.
+
+    With average right degree ``a`` between integers d and d+1, a
+    fraction of nodes has each degree; in *edge* terms the mix is
+    ``rho(x) = (1-f) x^(d-1) + f x^d`` with ``f`` solving the average.
+    """
+    d = int(np.floor(avg_right))
+    frac_nodes_high = avg_right - d
+    # Edge fractions weight node fractions by degree.
+    w_low = (1 - frac_nodes_high) * d
+    w_high = frac_nodes_high * (d + 1)
+    total = w_low + w_high
+    return (w_low / total) * x ** (d - 1) + (w_high / total) * x ** d
+
+
+def peeling_condition(delta: float, lam_degrees: np.ndarray,
+                      lam_fractions: np.ndarray, avg_right: float,
+                      grid: int = 400) -> float:
+    """Worst-case slack of the density-evolution condition.
+
+    Returns ``min over x of (x - delta * lambda(1 - rho(1-x)))``; positive
+    means the distribution asymptotically survives loss ``delta``.
+    """
+    x = np.linspace(1e-4, delta, grid)
+    y = 1 - rho_polynomial(avg_right, 1 - x)
+    lam = np.zeros_like(x)
+    for d, f in zip(lam_degrees, lam_fractions):
+        lam += f * y ** (d - 1)
+    return float(np.min(x - delta * lam))
+
+
+@dataclass(frozen=True)
+class DesignResult:
+    """Outcome of an LP design run."""
+
+    distribution: DegreeDistribution
+    delta: float
+    avg_left_degree: float
+    avg_right_degree: float
+    slack: float
+
+
+def design_left_distribution(delta: float,
+                             avg_left: float,
+                             beta: float = 0.5,
+                             max_degree: int = 60,
+                             grid: int = 200,
+                             margin: float = 0.0) -> Optional[DesignResult]:
+    """LP-design a left node-degree pmf surviving loss ``delta``.
+
+    Variables are the edge fractions ``lambda_i`` for i in [2, max_degree].
+    Constraints:
+
+    * ``sum_i lambda_i = 1``;
+    * ``sum_i lambda_i / i = 1 / avg_left`` (fixes the average left node
+      degree, hence the decoding work and the right side's density);
+    * density evolution at ``grid`` points of (0, delta] with ``margin``
+      of slack;
+
+    and the objective maximises the total DE slack (any feasible point is
+    acceptable; slack makes the finite-length behaviour more robust).
+
+    Returns ``None`` when infeasible (delta too ambitious for the degree
+    budget).
+    """
+    try:
+        from scipy.optimize import linprog
+    except ImportError as exc:  # pragma: no cover - scipy is installed here
+        raise ParameterError("degree design requires scipy") from exc
+    if not 0 < delta < 1:
+        raise ParameterError("delta must lie in (0, 1)")
+    degrees = np.arange(2, max_degree + 1)
+    avg_right = avg_left / beta
+    x = np.linspace(1e-3, delta, grid)
+    y = 1 - rho_polynomial(avg_right, 1 - x)
+    # Constraint matrix: delta * sum_i lambda_i y^(i-1) <= x - margin*x
+    a_ub = delta * np.power(y[:, None], degrees[None, :] - 1)
+    b_ub = x * (1 - margin)
+    a_eq = np.vstack([np.ones_like(degrees, dtype=float),
+                      1.0 / degrees])
+    b_eq = np.array([1.0, 1.0 / avg_left])
+    # Objective: maximise slack -> minimise sum of lhs (a heuristic that
+    # pushes mass toward safer low-degree terms while LP-feasible).
+    c = a_ub.sum(axis=0)
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+                  bounds=[(0, 1)] * len(degrees), method="highs")
+    if not res.success:
+        return None
+    lam = np.maximum(res.x, 0)
+    lam = lam / lam.sum()
+    dist = edge_to_node_distribution(degrees.astype(float), lam)
+    deg2, lam2 = node_to_edge_fractions(dist)
+    slack = peeling_condition(delta, deg2, lam2, avg_right)
+    return DesignResult(distribution=dist, delta=delta,
+                        avg_left_degree=dist.average_degree,
+                        avg_right_degree=dist.average_degree / beta,
+                        slack=slack)
+
+
+def max_design_delta(avg_left: float, beta: float = 0.5,
+                     max_degree: int = 60,
+                     tolerance: float = 1e-3) -> float:
+    """Largest loss fraction an LP design can survive at this density."""
+    lo, hi = 0.05, beta
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if design_left_distribution(mid, avg_left, beta, max_degree) is not None:
+            lo = mid
+        else:
+            hi = mid
+    return lo

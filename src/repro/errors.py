@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A constructor or function argument is out of its valid range."""
+
+
+class FieldError(ReproError, ValueError):
+    """Invalid finite-field operation (e.g. division by zero)."""
+
+
+class SingularMatrixError(ReproError):
+    """A matrix that must be inverted or solved is singular."""
+
+
+class DecodeFailure(ReproError):
+    """Decoding could not complete with the packets supplied.
+
+    For erasure codes this means the received set does not determine the
+    source data; receive more packets and retry.
+    """
+
+    def __init__(self, message: str = "decoding failed: insufficient packets",
+                 missing: int = 0):
+        super().__init__(message)
+        #: Number of source packets still unrecovered when decoding stopped
+        #: (zero when unknown).
+        self.missing = missing
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (bad header, wrong session, ...)."""

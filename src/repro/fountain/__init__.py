@@ -1,0 +1,29 @@
+"""The digital-fountain transmission layer (paper Sections 3, 4 and 7).
+
+A :class:`~repro.fountain.carousel.CarouselServer` cycles through a
+random permutation of an erasure encoding; a
+:class:`~repro.fountain.client.FountainClient` drinks packets from the
+stream until its decoder completes, tracking the reception-efficiency
+metrics of Section 6/7.3.
+"""
+
+from repro.fountain.packets import PacketHeader, EncodingPacket, HEADER_SIZE
+from repro.fountain.carousel import CarouselServer
+from repro.fountain.client import FountainClient, ClientMode
+from repro.fountain.metrics import ReceptionStats
+from repro.fountain.aggregate import (
+    MultiSourceClient,
+    simulate_aggregate_download,
+)
+
+__all__ = [
+    "PacketHeader",
+    "EncodingPacket",
+    "HEADER_SIZE",
+    "CarouselServer",
+    "FountainClient",
+    "ClientMode",
+    "ReceptionStats",
+    "MultiSourceClient",
+    "simulate_aggregate_download",
+]

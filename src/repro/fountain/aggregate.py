@@ -1,0 +1,144 @@
+"""Multi-source aggregation: drink from several fountains at once.
+
+Paper Section 8: "If the sources use ideal digital fountains to
+transmit the data, clients can access multiple sources simultaneously,
+and aggregate all the packets they receive to recover the data
+efficiently."  :class:`MultiSourceClient` merges any number of carousel
+streams that share one code; its counters expose the trade-off the
+paper flags — more mirrors cut download time, while a small stretch
+factor bounds how long the streams stay duplicate-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.base import ErasureCode
+from repro.codes.tornado.code import TornadoCode
+from repro.errors import DecodeFailure, ParameterError
+from repro.fountain.carousel import CarouselServer
+from repro.fountain.metrics import ReceptionStats
+from repro.net.loss import LossModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SourceReport:
+    """Per-mirror contribution statistics."""
+
+    source_id: int
+    received: int
+    useful: int
+
+    @property
+    def duplicate_rate(self) -> float:
+        if self.received == 0:
+            return 0.0
+        return 1.0 - self.useful / self.received
+
+
+class MultiSourceClient:
+    """Aggregates packets from several servers sharing one erasure code.
+
+    All servers must carousel the *same* encoding (same code, same
+    seed-derived graph) but may use independent transmission orders —
+    which is exactly what keeps early duplicates rare.
+    """
+
+    def __init__(self, code: ErasureCode,
+                 payload_size: Optional[int] = None):
+        self.code = code
+        if isinstance(code, TornadoCode):
+            self._decoder = code.new_decoder(payload_size=payload_size)
+            self._seen_fallback: Optional[set] = None
+        else:
+            self._decoder = None
+            self._seen_fallback = set()
+        self._seen = np.zeros(code.n, dtype=bool)
+        self.reports: Dict[int, SourceReport] = {}
+        self.total_received = 0
+        self.distinct_received = 0
+
+    @property
+    def is_complete(self) -> bool:
+        if self._decoder is not None:
+            return self._decoder.is_complete
+        return self.code.is_decodable(self._seen_fallback)
+
+    def receive_from(self, source_id: int, index: int,
+                     payload: Optional[np.ndarray] = None) -> bool:
+        """Ingest one packet attributed to a mirror; True when complete."""
+        if not 0 <= index < self.code.n:
+            raise ParameterError(f"index {index} outside encoding")
+        report = self.reports.setdefault(
+            source_id, SourceReport(source_id, 0, 0))
+        report.received += 1
+        self.total_received += 1
+        if not self._seen[index]:
+            self._seen[index] = True
+            self.distinct_received += 1
+            report.useful += 1
+            if self._decoder is not None:
+                self._decoder.add_packet(index, payload)
+            else:
+                self._seen_fallback.add(index)
+        return self.is_complete
+
+    def stats(self) -> ReceptionStats:
+        return ReceptionStats(
+            source_packets=self.code.k,
+            distinct_received=self.distinct_received,
+            total_received=self.total_received,
+        )
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Outcome of a simulated multi-mirror download."""
+
+    num_sources: int
+    slots: int
+    stats: ReceptionStats
+    per_source: List[SourceReport]
+
+    @property
+    def speedup_base_slots(self) -> int:
+        return self.slots
+
+
+def simulate_aggregate_download(code: ErasureCode,
+                                num_sources: int,
+                                loss_model: LossModel,
+                                rng: RngLike = None,
+                                max_cycles: int = 50) -> AggregationResult:
+    """Download from ``num_sources`` parallel mirrors; structural only.
+
+    One wall-clock slot carries one packet from every mirror; each is
+    lost independently.  Returns the completion slot and the aggregate
+    reception statistics — the data behind examples/mirrored_servers.py.
+    """
+    if num_sources < 1:
+        raise ParameterError("need at least one source")
+    gen = ensure_rng(rng)
+    servers = [CarouselServer(code, seed=int(gen.integers(1 << 30)))
+               for _ in range(num_sources)]
+    client = MultiSourceClient(code)
+    horizon = max_cycles * code.n
+    streams = [srv.index_stream(horizon) for srv in servers]
+    for slot in range(horizon):
+        for sid, stream in enumerate(streams):
+            if loss_model.losses(1, gen)[0]:
+                continue
+            if client.receive_from(sid, int(stream[slot])):
+                return AggregationResult(
+                    num_sources=num_sources,
+                    slots=slot + 1,
+                    stats=client.stats(),
+                    per_source=sorted(client.reports.values(),
+                                      key=lambda r: r.source_id),
+                )
+    raise DecodeFailure(
+        f"download incomplete after {max_cycles} carousel cycles")

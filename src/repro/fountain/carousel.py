@@ -1,0 +1,103 @@
+"""Carousel transmission of an erasure encoding (paper Sections 4, 6).
+
+"An obvious way to approximate a digital fountain [...] is to set n to be
+a multiple of k, and repeatedly cycle through and send the n encoding
+packets"; in the simulations "the server then simply cycled through a
+random permutation of the source and redundant packets".
+
+:class:`CarouselServer` implements exactly that: it holds an encoding,
+fixes a seed-derived random permutation, and yields packets indefinitely.
+Interleaved codes supply their own deterministic interleaved order via
+``carousel_order``; the carousel respects a code-provided order when
+asked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.base import ErasureCode
+from repro.errors import ParameterError
+from repro.fountain.packets import EncodingPacket, PacketHeader
+from repro.utils.rng import RngLike, spawn_rng
+
+#: rng stream label for the transmission permutation.
+_PERMUTATION_STREAM = 0x5EED
+
+
+class CarouselServer:
+    """Cycles through an encoding in a fixed (random or given) order.
+
+    Parameters
+    ----------
+    code:
+        The erasure code; its ``n`` defines the carousel cycle length.
+    encoding:
+        Optional precomputed ``(n, P)`` encoding block.  When omitted the
+        server is *index-only* — useful for structural simulations that
+        never touch payload bytes.
+    order:
+        Explicit transmission order for one cycle (e.g. an interleaved
+        code's schedule).  Defaults to a seed-derived random permutation.
+    seed:
+        Seed for the default permutation.
+    group:
+        Group number stamped into packet headers.
+    """
+
+    def __init__(self, code: ErasureCode,
+                 encoding: Optional[np.ndarray] = None,
+                 order: Optional[Sequence[int]] = None,
+                 seed: RngLike = 0,
+                 group: int = 0):
+        self.code = code
+        self.encoding = encoding
+        if encoding is not None and encoding.shape[0] != code.n:
+            raise ParameterError(
+                f"encoding has {encoding.shape[0]} packets, code has n={code.n}")
+        if order is not None:
+            self.order = np.asarray(order, dtype=np.int64)
+            if sorted(self.order.tolist()) != list(range(code.n)):
+                raise ParameterError(
+                    "order must be a permutation of all encoding indices")
+        else:
+            rng = spawn_rng(seed, _PERMUTATION_STREAM)
+            self.order = rng.permutation(code.n).astype(np.int64)
+        self.group = group
+        self._serial = 0
+
+    @property
+    def cycle_length(self) -> int:
+        """Packets per full carousel cycle."""
+        return self.code.n
+
+    def index_stream(self, count: int) -> np.ndarray:
+        """The next ``count`` encoding indices (no packet objects).
+
+        Stateless with respect to the serial counter: slot ``t`` always
+        carries ``order[t % n]``, so simulations can regenerate any
+        window of the stream from the shared seed.
+        """
+        t = np.arange(count)
+        return self.order[t % self.cycle_length]
+
+    def packets(self, count: Optional[int] = None) -> Iterator[EncodingPacket]:
+        """Yield the next ``count`` packets (infinite when ``None``)."""
+        if self.encoding is None:
+            raise ParameterError(
+                "index-only carousel cannot emit payload packets; "
+                "construct with an encoding block")
+        emitted = 0
+        while count is None or emitted < count:
+            index = int(self.order[self._serial % self.cycle_length])
+            header = PacketHeader(index=index, serial=self._serial,
+                                  group=self.group)
+            yield EncodingPacket(header=header, payload=self.encoding[index])
+            self._serial += 1
+            emitted += 1
+
+    def reset(self) -> None:
+        """Rewind the serial counter (a fresh session)."""
+        self._serial = 0

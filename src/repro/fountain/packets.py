@@ -1,0 +1,86 @@
+"""On-the-wire packet format.
+
+Section 7.3: "The packets were additionally tagged with 12 bytes of
+information (packet index, serial number and group number)".  We use the
+same 12-byte header: three big-endian unsigned 32-bit fields.
+
+* ``index``  — position of the payload within the erasure encoding
+  (0 <= index < n); identifies *which* encoding packet this is.
+* ``serial`` — monotonically increasing transmission serial number;
+  distinguishes retransmissions of the same encoding packet across
+  carousel cycles (and lets receivers estimate loss rates).
+* ``group``  — multicast group / layer number for the layered protocol
+  (always 0 on a single-layer carousel).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+#: Size of the packet header in bytes (three uint32 fields).
+HEADER_SIZE = 12
+
+_HEADER_STRUCT = struct.Struct(">III")
+
+
+@dataclass(frozen=True)
+class PacketHeader:
+    """The 12-byte header tag of every encoding packet."""
+
+    index: int
+    serial: int
+    group: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("index", "serial", "group"):
+            value = getattr(self, field)
+            if not 0 <= value < 2 ** 32:
+                raise ProtocolError(
+                    f"header field {field}={value} outside uint32 range")
+
+    def pack(self) -> bytes:
+        """Serialise to the 12-byte wire format."""
+        return _HEADER_STRUCT.pack(self.index, self.serial, self.group)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "PacketHeader":
+        """Parse the leading 12 bytes of ``data``."""
+        if len(data) < HEADER_SIZE:
+            raise ProtocolError(
+                f"header needs {HEADER_SIZE} bytes, got {len(data)}")
+        index, serial, group = _HEADER_STRUCT.unpack(data[:HEADER_SIZE])
+        return cls(index=index, serial=serial, group=group)
+
+
+@dataclass(frozen=True)
+class EncodingPacket:
+    """A header plus its fixed-length payload."""
+
+    header: PacketHeader
+    payload: np.ndarray
+
+    @property
+    def index(self) -> int:
+        return self.header.index
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes on the wire (header + payload)."""
+        return HEADER_SIZE + int(np.asarray(self.payload).nbytes)
+
+    def to_bytes(self) -> bytes:
+        """Serialise header and payload."""
+        return self.header.pack() + np.ascontiguousarray(
+            self.payload).tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EncodingPacket":
+        """Parse a packet serialised by :meth:`to_bytes`."""
+        header = PacketHeader.unpack(data)
+        payload = np.frombuffer(data[HEADER_SIZE:], dtype=np.uint8).copy()
+        return cls(header=header, payload=payload)

@@ -1,0 +1,169 @@
+"""Binary extension fields GF(2^m) built on log/exp tables.
+
+The representation is the standard one for software erasure codes: field
+elements are integers in ``[0, 2^m)``, addition is bitwise XOR, and
+multiplication is carried out through discrete-log tables over a generator
+of the multiplicative group.  All bulk operations are vectorised with
+numpy so that multiplying a scalar into a whole packet is a single table
+gather rather than a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FieldError, ParameterError
+
+
+class BinaryExtensionField:
+    """Arithmetic in GF(2^m) defined by a primitive polynomial.
+
+    Parameters
+    ----------
+    m:
+        Extension degree; the field has ``2**m`` elements.
+    primitive_poly:
+        The primitive polynomial as an integer bit mask including the
+        leading term (e.g. ``0x11D`` for the AES-friendly GF(2^8)).
+    dtype:
+        Numpy dtype wide enough for one element (``uint8``/``uint16``).
+    """
+
+    def __init__(self, m: int, primitive_poly: int, dtype: np.dtype):
+        if not 1 <= m <= 16:
+            raise ParameterError(f"unsupported extension degree m={m}")
+        self.m = m
+        self.order = 1 << m
+        self.primitive_poly = primitive_poly
+        self.dtype = np.dtype(dtype)
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Populate exp/log tables by iterating the generator ``x``."""
+        order = self.order
+        exp = np.zeros(2 * order, dtype=np.int64)
+        log = np.zeros(order, dtype=np.int64)
+        x = 1
+        for i in range(order - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & order:
+                x ^= self.primitive_poly
+        if x != 1:
+            raise FieldError(
+                f"polynomial {self.primitive_poly:#x} is not primitive for m={self.m}")
+        # Duplicate the exp table so exp[log a + log b] needs no modulo.
+        exp[order - 1:2 * (order - 1)] = exp[:order - 1]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar operations -------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (== subtraction): bitwise XOR."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication of two scalars."""
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises :class:`FieldError` on b == 0."""
+        if b == 0:
+            raise FieldError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(self._exp[self._log[a] - self._log[b] + (self.order - 1)])
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises :class:`FieldError` on zero."""
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return int(self._exp[(self.order - 1) - self._log[a]])
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise ``a`` to the integer power ``e`` (``e`` may be negative)."""
+        if a == 0:
+            if e == 0:
+                return 1
+            if e < 0:
+                raise FieldError("zero has no negative powers")
+            return 0
+        exponent = (self._log[a] * e) % (self.order - 1)
+        return int(self._exp[exponent])
+
+    def exp(self, i: int) -> int:
+        """The ``i``-th power of the generator element."""
+        return int(self._exp[i % (self.order - 1)])
+
+    # -- vectorised operations ---------------------------------------------
+
+    def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise product of two arrays of field elements."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        out = self._exp[self._log[a.astype(np.int64)]
+                        + self._log[b.astype(np.int64)]]
+        out[(a == 0) | (b == 0)] = 0
+        return out.astype(self.dtype)
+
+    def scalar_mul_vec(self, scalar: int, vec: np.ndarray) -> np.ndarray:
+        """Multiply every element of ``vec`` by ``scalar``.
+
+        This is the inner loop of Reed-Solomon encoding: one generator
+        matrix entry times one packet of symbols.
+        """
+        if scalar == 0:
+            return np.zeros_like(vec)
+        if scalar == 1:
+            return vec.copy()
+        vec = np.asarray(vec)
+        out = self._exp[self._log[scalar] + self._log[vec.astype(np.int64)]]
+        out[vec == 0] = 0
+        return out.astype(self.dtype)
+
+    def addmul_vec(self, acc: np.ndarray, scalar: int, vec: np.ndarray) -> None:
+        """In-place ``acc ^= scalar * vec`` — the fused RS encode kernel."""
+        if scalar == 0:
+            return
+        if scalar == 1:
+            np.bitwise_xor(acc, vec, out=acc)
+            return
+        prod = self._exp[self._log[scalar] + self._log[vec.astype(np.int64)]]
+        prod[vec == 0] = 0
+        np.bitwise_xor(acc, prod.astype(self.dtype), out=acc)
+
+    def inv_vec(self, a: np.ndarray) -> np.ndarray:
+        """Elementwise multiplicative inverse; zeros are rejected."""
+        a = np.asarray(a)
+        if np.any(a == 0):
+            raise FieldError("zero has no multiplicative inverse")
+        out = self._exp[(self.order - 1) - self._log[a.astype(np.int64)]]
+        return out.astype(self.dtype)
+
+    # -- niceties ------------------------------------------------------------
+
+    def elements(self, count: int, start: int = 0) -> np.ndarray:
+        """The first ``count`` field elements ``start, start+1, ...``.
+
+        Used to pick distinct evaluation points for Vandermonde/Cauchy
+        matrices; raises if the field is too small.
+        """
+        if start + count > self.order:
+            raise ParameterError(
+                f"field GF(2^{self.m}) has no {start + count} distinct elements")
+        return np.arange(start, start + count, dtype=self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF(2^{self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BinaryExtensionField)
+                and other.m == self.m
+                and other.primitive_poly == self.primitive_poly)
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.primitive_poly))

@@ -1,0 +1,20 @@
+"""GF(2^16) singleton used by whole-file Reed-Solomon codes.
+
+Tables 2 and 3 of the paper stretch files of up to 16 MB (k = 16384
+one-kilobyte packets) to n = 2k encoding packets; that exceeds the 256
+codeword positions GF(2^8) offers, so the full-file Vandermonde and Cauchy
+baselines operate over GF(2^16).  Packets are viewed as arrays of uint16
+symbols (two bytes per symbol), exactly as in Rizzo's large-field variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import BinaryExtensionField
+
+#: Primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
+GF65536_POLY = 0x1100B
+
+#: The shared GF(2^16) field instance.
+GF65536 = BinaryExtensionField(16, GF65536_POLY, np.uint16)

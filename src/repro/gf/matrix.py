@@ -1,0 +1,233 @@
+"""Dense matrix algebra over GF(2^m).
+
+Implements exactly what systematic Reed-Solomon erasure codes need:
+
+* Vandermonde and Cauchy generator-matrix constructions,
+* Gauss-Jordan inversion / solving with vectorised row operations,
+* systematisation (Rizzo's trick of right-multiplying a Vandermonde
+  matrix by the inverse of its top square so the first k encoding packets
+  equal the source packets),
+* matrix-times-packet-block products, the encode/decode workhorse.
+
+Matrices are plain numpy integer arrays whose entries are field elements;
+the field instance travels alongside as an explicit argument — no global
+state, following the "explicit is better than implicit" rule.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError, SingularMatrixError
+from repro.gf.field import BinaryExtensionField
+
+
+def gf_eye(n: int, field: BinaryExtensionField) -> np.ndarray:
+    """Identity matrix over the field."""
+    return np.eye(n, dtype=field.dtype)
+
+
+def vandermonde_matrix(rows: int, cols: int,
+                       field: BinaryExtensionField) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = x_i^j with distinct points x_i.
+
+    Any ``cols`` rows of the matrix are linearly independent (det =
+    prod of point differences, nonzero for distinct points), which is
+    the MDS property an erasure code needs.  Points are simply ``x_i =
+    i`` — zero included, its row being (1, 0, ..., 0) — so the full
+    field supports ``rows == field.order`` codeword positions.
+    """
+    if rows > field.order:
+        raise ParameterError(
+            f"Vandermonde needs {rows} distinct points; "
+            f"GF(2^{field.m}) has only {field.order}")
+    points = np.arange(rows, dtype=np.int64)
+    mat = np.empty((rows, cols), dtype=field.dtype)
+    col = np.ones(rows, dtype=np.int64)
+    for j in range(cols):
+        mat[:, j] = col.astype(field.dtype)
+        col = field.mul_vec(col, points).astype(np.int64)
+    return mat
+
+
+def cauchy_matrix(rows: int, cols: int,
+                  field: BinaryExtensionField) -> np.ndarray:
+    """Cauchy matrix C[i, j] = 1 / (x_i + y_j) with disjoint x and y sets.
+
+    Every square submatrix of a Cauchy matrix is nonsingular, giving the
+    MDS property directly (Bloemer et al. [2]).  We use
+    ``x_i = i`` and ``y_j = rows + j`` which are disjoint by construction.
+    """
+    if rows + cols > field.order:
+        raise ParameterError(
+            f"Cauchy matrix needs {rows + cols} distinct elements; "
+            f"GF(2^{field.m}) has only {field.order}")
+    xs = np.arange(rows, dtype=np.int64)
+    ys = np.arange(rows, rows + cols, dtype=np.int64)
+    denom = xs[:, None] ^ ys[None, :]
+    return field.inv_vec(denom)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray,
+              field: BinaryExtensionField) -> np.ndarray:
+    """Matrix product over the field.
+
+    Vectorised along rows of ``a``: one log/exp gather per column of ``b``.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[1] != b.shape[0]:
+        raise ParameterError(f"shape mismatch {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
+    for j in range(b.shape[0]):
+        col = a[:, j]
+        if not np.any(col):
+            continue
+        prod = field.mul_vec(col[:, None], b[j][None, :])
+        np.bitwise_xor(out, prod, out=out)
+    return out
+
+
+def gf_matvec_packets(mat: np.ndarray, packets: np.ndarray,
+                      field: BinaryExtensionField) -> np.ndarray:
+    """Apply ``mat`` (r x c) to a block of ``c`` packets, giving ``r`` packets.
+
+    ``packets`` has shape ``(c, P)`` with P symbols per packet.  This is
+    the encode/decode kernel whose cost is O(r * c * P) — the very cost
+    the paper's Tables 2/3 show growing quadratically for Reed-Solomon.
+    """
+    mat = np.asarray(mat)
+    packets = np.asarray(packets)
+    if mat.shape[1] != packets.shape[0]:
+        raise ParameterError(
+            f"matrix has {mat.shape[1]} columns but {packets.shape[0]} packets given")
+    out = np.zeros((mat.shape[0], packets.shape[1]), dtype=field.dtype)
+    for j in range(mat.shape[1]):
+        column = mat[:, j]
+        nz = np.nonzero(column)[0]
+        if nz.size == 0:
+            continue
+        prod = field.mul_vec(column[nz][:, None], packets[j][None, :])
+        out[nz] ^= prod
+    return out
+
+
+def _eliminate(aug: np.ndarray, n: int, field: BinaryExtensionField) -> np.ndarray:
+    """Gauss-Jordan elimination of the left n columns of ``aug`` (in place)."""
+    rows = aug.shape[0]
+    for col in range(n):
+        pivot = -1
+        for r in range(col, rows):
+            if aug[r, col]:
+                pivot = r
+                break
+        if pivot < 0:
+            raise SingularMatrixError(f"matrix singular at column {col}")
+        if pivot != col:
+            aug[[col, pivot]] = aug[[pivot, col]]
+        inv = field.inv(int(aug[col, col]))
+        aug[col] = field.scalar_mul_vec(inv, aug[col])
+        factors = aug[:, col].copy()
+        factors[col] = 0
+        nz = np.nonzero(factors)[0]
+        if nz.size:
+            prod = field.mul_vec(factors[nz][:, None], aug[col][None, :])
+            aug[nz] ^= prod
+    return aug
+
+
+def gf_invert(mat: np.ndarray, field: BinaryExtensionField) -> np.ndarray:
+    """Matrix inverse via Gauss-Jordan; raises on singular input."""
+    mat = np.asarray(mat)
+    n = mat.shape[0]
+    if mat.shape != (n, n):
+        raise ParameterError("only square matrices can be inverted")
+    aug = np.concatenate([mat.astype(field.dtype), gf_eye(n, field)], axis=1)
+    _eliminate(aug, n, field)
+    return aug[:, n:].copy()
+
+
+def gf_solve(mat: np.ndarray, rhs: np.ndarray,
+             field: BinaryExtensionField) -> np.ndarray:
+    """Solve ``mat @ x = rhs`` where rhs is a block of packets ``(n, P)``.
+
+    Equivalent to ``gf_matvec_packets(gf_invert(mat), rhs)`` but done in a
+    single elimination pass over the augmented system, which is how an RS
+    decoder actually runs.
+    """
+    mat = np.asarray(mat)
+    rhs = np.asarray(rhs)
+    n = mat.shape[0]
+    if mat.shape != (n, n):
+        raise ParameterError("coefficient matrix must be square")
+    if rhs.shape[0] != n:
+        raise ParameterError("right-hand side row count mismatch")
+    aug = np.concatenate(
+        [mat.astype(field.dtype), rhs.astype(field.dtype)], axis=1)
+    _eliminate(aug, n, field)
+    return aug[:, n:].copy()
+
+
+def systematize(generator: np.ndarray, k: int,
+                field: BinaryExtensionField) -> np.ndarray:
+    """Turn an (n x k) MDS generator into systematic form.
+
+    Right-multiplies by the inverse of the top k x k square so the first k
+    output symbols are the source symbols verbatim — Rizzo's construction
+    for Vandermonde-based RS erasure codes [16].  The result still has the
+    MDS property because column operations preserve it.
+    """
+    generator = np.asarray(generator)
+    if generator.shape[0] < k or generator.shape[1] != k:
+        raise ParameterError("generator must be (n x k) with n >= k")
+    top_inv = gf_invert(generator[:k, :], field)
+    systematic = gf_matmul(generator, top_inv, field)
+    # Clean numerical-noise-free identity (exact arithmetic, but the
+    # elimination may leave the top block only approximately triangularised
+    # in ordering; enforce exact identity).
+    systematic[:k, :] = gf_eye(k, field)
+    return systematic
+
+
+def is_identity(mat: np.ndarray) -> bool:
+    """True when ``mat`` equals the identity matrix."""
+    mat = np.asarray(mat)
+    n = mat.shape[0]
+    return mat.shape == (n, n) and bool(np.all(mat == np.eye(n, dtype=mat.dtype)))
+
+
+def gf2_solve(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve a dense GF(2) system ``mat @ x = rhs`` (bool arrays).
+
+    Used by the "dense random binary cap" ablation for the Tornado
+    cascade's terminating code.  ``rhs`` may be a matrix of packed packet
+    payloads (uint8) in which case XOR row-ops act on payload rows.
+    """
+    mat = np.asarray(mat).astype(bool).copy()
+    rhs = np.asarray(rhs).copy()
+    n = mat.shape[1]
+    if mat.shape[0] < n:
+        raise SingularMatrixError("underdetermined GF(2) system")
+    row = 0
+    pivot_rows = []
+    for col in range(n):
+        pivot = -1
+        for r in range(row, mat.shape[0]):
+            if mat[r, col]:
+                pivot = r
+                break
+        if pivot < 0:
+            raise SingularMatrixError(f"GF(2) system singular at column {col}")
+        if pivot != row:
+            mat[[row, pivot]] = mat[[pivot, row]]
+            rhs[[row, pivot]] = rhs[[pivot, row]]
+        others = np.nonzero(mat[:, col])[0]
+        others = others[others != row]
+        if others.size:
+            mat[others] ^= mat[row]
+            rhs[others] ^= rhs[row]
+        pivot_rows.append(row)
+        row += 1
+    return rhs[:n]

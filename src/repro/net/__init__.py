@@ -1,0 +1,33 @@
+"""Network substrate: loss processes, channels and multicast plumbing.
+
+The paper's channels (Section 2) are best-effort packet channels — IP
+multicast, satellite, wireless — whose only failure mode after intra-
+packet FEC is *erasure*.  This package provides the loss processes used
+across the evaluation (independent Bernoulli loss for Sections 6.1-6.3,
+bursty heterogeneous MBone-like traces for Section 6.4) and the
+slot-based multicast fabric the layered prototype simulation runs on.
+"""
+
+from repro.net.loss import (
+    LossModel,
+    BernoulliLoss,
+    GilbertElliottLoss,
+    TraceLoss,
+)
+from repro.net.traces import TraceSet, synthesize_mbone_traces
+from repro.net.channel import LossyChannel
+from repro.net.multicast import MulticastGroup, MulticastNetwork
+from repro.net.events import EventLoop
+
+__all__ = [
+    "LossModel",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "TraceLoss",
+    "TraceSet",
+    "synthesize_mbone_traces",
+    "LossyChannel",
+    "MulticastGroup",
+    "MulticastNetwork",
+    "EventLoop",
+]

@@ -1,0 +1,49 @@
+"""A lossy best-effort channel applying a loss model to packet streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.fountain.packets import EncodingPacket
+from repro.net.loss import LossModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class LossyChannel:
+    """Applies a :class:`~repro.net.loss.LossModel` to whatever crosses it.
+
+    The channel owns its RNG so that two channels built from the same
+    model but different seeds produce independent loss processes — one
+    per receiver, as in all of the paper's experiments.
+    """
+
+    def __init__(self, loss_model: LossModel, rng: RngLike = None):
+        self.loss_model = loss_model
+        self.rng = ensure_rng(rng)
+        self.sent = 0
+        self.delivered = 0
+
+    def transmit(self, packets: Iterable[EncodingPacket]
+                 ) -> Iterator[EncodingPacket]:
+        """Yield the packets that survive the channel, in order."""
+        for packet in packets:
+            self.sent += 1
+            if not bool(self.loss_model.losses(1, self.rng)[0]):
+                self.delivered += 1
+                yield packet
+
+    def delivery_mask(self, count: int) -> np.ndarray:
+        """Vectorised fast path: survival mask for the next ``count`` slots."""
+        mask = self.loss_model.deliveries(count, self.rng)
+        self.sent += count
+        self.delivered += int(mask.sum())
+        return mask
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Empirical loss rate over everything transmitted so far."""
+        if self.sent == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.sent

@@ -1,0 +1,59 @@
+"""A minimal discrete-event loop for the protocol simulations.
+
+The layered-multicast prototype (Section 7) is naturally slot-based —
+one slot per base-layer packet interval — but join/leave decisions,
+synchronization points and burst periods are events.  This tiny engine
+keeps those pieces decoupled without pulling in a heavyweight framework.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ParameterError
+
+Event = Callable[[], None]
+
+
+class EventLoop:
+    """Priority-queue event loop with integer (slot) timestamps."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self.now = 0
+
+    def schedule(self, time: int, event: Event) -> None:
+        """Schedule ``event`` at absolute slot ``time`` (>= now)."""
+        if time < self.now:
+            raise ParameterError(
+                f"cannot schedule event at {time} before now={self.now}")
+        heapq.heappush(self._queue, (time, next(self._counter), event))
+
+    def schedule_in(self, delay: int, event: Event) -> None:
+        """Schedule ``event`` ``delay`` slots from now."""
+        self.schedule(self.now + delay, event)
+
+    def run_until(self, time: int) -> None:
+        """Run all events with timestamps <= ``time``; advance the clock."""
+        while self._queue and self._queue[0][0] <= time:
+            when, _, event = heapq.heappop(self._queue)
+            self.now = when
+            event()
+        self.now = max(self.now, time)
+
+    def run_all(self, max_time: Optional[int] = None) -> None:
+        """Drain the queue (optionally bounded by ``max_time``)."""
+        while self._queue:
+            if max_time is not None and self._queue[0][0] > max_time:
+                self.now = max_time
+                return
+            when, _, event = heapq.heappop(self._queue)
+            self.now = when
+            event()
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,158 @@
+"""Packet-loss processes.
+
+Three models cover the paper's evaluation:
+
+* :class:`BernoulliLoss` — "each transmission to each receiver is lost
+  independently with a fixed probability p" (Section 6 simulations).
+* :class:`GilbertElliottLoss` — the classic two-state bursty model, used
+  to synthesise MBone-like traces ("all of the networks we describe are
+  prone to bursty loss periods", Section 2; trace study Section 6.4).
+* :class:`TraceLoss` — replays a recorded boolean loss trace from an
+  arbitrary starting offset, which is how Section 6.4 samples the
+  Yajnik/Kurose/Towsley traces.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class LossModel(abc.ABC):
+    """A stationary (or trace-driven) packet-erasure process."""
+
+    @abc.abstractmethod
+    def losses(self, count: int, rng: RngLike = None) -> np.ndarray:
+        """Boolean array of length ``count``; True means the packet is lost."""
+
+    @abc.abstractmethod
+    def expected_loss_rate(self) -> float:
+        """Long-run fraction of packets lost."""
+
+    def deliveries(self, count: int, rng: RngLike = None) -> np.ndarray:
+        """Complement of :meth:`losses` (True = delivered)."""
+        return ~self.losses(count, rng)
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with fixed probability ``p``."""
+
+    def __init__(self, p: float):
+        if not 0 <= p < 1:
+            raise ParameterError(f"loss probability {p} outside [0, 1)")
+        self.p = float(p)
+
+    def losses(self, count: int, rng: RngLike = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        if self.p == 0:
+            return np.zeros(count, dtype=bool)
+        return gen.random(count) < self.p
+
+    def expected_loss_rate(self) -> float:
+        return self.p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BernoulliLoss(p={self.p})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov loss: a good state and a lossy burst state.
+
+    Parameters
+    ----------
+    p_good_to_bad, p_bad_to_good:
+        State transition probabilities per packet slot.
+    loss_good, loss_bad:
+        Loss probability within each state (classic Gilbert model:
+        0 and 1).
+    """
+
+    def __init__(self, p_good_to_bad: float, p_bad_to_good: float,
+                 loss_good: float = 0.0, loss_bad: float = 1.0):
+        for name, value in (("p_good_to_bad", p_good_to_bad),
+                            ("p_bad_to_good", p_bad_to_good)):
+            if not 0 < value <= 1:
+                raise ParameterError(f"{name}={value} outside (0, 1]")
+        if not 0 <= loss_good <= 1 or not 0 <= loss_bad <= 1:
+            raise ParameterError("state loss rates must lie in [0, 1]")
+        self.p_gb = float(p_good_to_bad)
+        self.p_bg = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+
+    @classmethod
+    def from_loss_and_burst(cls, loss_rate: float,
+                            mean_burst_length: float) -> "GilbertElliottLoss":
+        """Construct from target stationary loss rate and burst length.
+
+        With loss only in the bad state (classic Gilbert), the stationary
+        bad-state probability equals the loss rate and the mean burst
+        length is ``1 / p_bad_to_good``.
+        """
+        if not 0 < loss_rate < 1:
+            raise ParameterError("loss_rate must lie in (0, 1)")
+        if mean_burst_length < 1:
+            raise ParameterError("mean burst length must be >= 1")
+        p_bg = 1.0 / mean_burst_length
+        # stationary pi_bad = p_gb / (p_gb + p_bg) = loss_rate
+        p_gb = loss_rate * p_bg / (1 - loss_rate)
+        if p_gb > 1:
+            raise ParameterError(
+                f"loss_rate={loss_rate} with burst {mean_burst_length} "
+                "needs p_good_to_bad > 1")
+        return cls(p_gb, p_bg)
+
+    @property
+    def stationary_bad_probability(self) -> float:
+        return self.p_gb / (self.p_gb + self.p_bg)
+
+    def expected_loss_rate(self) -> float:
+        pi_bad = self.stationary_bad_probability
+        return pi_bad * self.loss_bad + (1 - pi_bad) * self.loss_good
+
+    def losses(self, count: int, rng: RngLike = None) -> np.ndarray:
+        gen = ensure_rng(rng)
+        # Vectorised chain simulation: draw per-slot uniforms, then scan.
+        u_state = gen.random(count)
+        u_loss = gen.random(count)
+        states = np.empty(count, dtype=bool)  # True = bad
+        state = gen.random() < self.stationary_bad_probability
+        for t in range(count):
+            if state:
+                state = not (u_state[t] < self.p_bg)
+            else:
+                state = u_state[t] < self.p_gb
+            states[t] = state
+        loss_prob = np.where(states, self.loss_bad, self.loss_good)
+        return u_loss < loss_prob
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GilbertElliottLoss(rate={self.expected_loss_rate():.3f}, "
+                f"burst={1 / self.p_bg:.1f})")
+
+
+class TraceLoss(LossModel):
+    """Replays a boolean loss trace cyclically from a given offset."""
+
+    def __init__(self, trace: np.ndarray, offset: int = 0):
+        trace = np.asarray(trace, dtype=bool)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ParameterError("trace must be a non-empty 1-D bool array")
+        self.trace = trace
+        self.offset = int(offset) % trace.size
+
+    def losses(self, count: int, rng: RngLike = None) -> np.ndarray:
+        idx = (self.offset + np.arange(count)) % self.trace.size
+        return self.trace[idx]
+
+    def expected_loss_rate(self) -> float:
+        return float(self.trace.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TraceLoss(len={self.trace.size}, "
+                f"rate={self.expected_loss_rate():.3f}, offset={self.offset})")

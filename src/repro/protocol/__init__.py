@@ -1,0 +1,41 @@
+"""The layered reliable-multicast protocol of paper Section 7.
+
+* :mod:`repro.protocol.layering` — geometric layer rates and cumulative
+  subscription levels (Section 7.1.1).
+* :mod:`repro.protocol.schedule` — the reverse-binary packet schedule
+  across layers with the One Level Property (Section 7.1.2, Table 5,
+  Figure 7).
+* :mod:`repro.protocol.congestion` — synchronization points, sender
+  bursts, and the receiver join/drop rules (from Vicisano, Rizzo and
+  Crowcroft [19], as adopted by the paper).
+* :mod:`repro.protocol.server` / :mod:`repro.protocol.receiver` /
+  :mod:`repro.protocol.session` — the end-to-end prototype simulation
+  behind Figure 8.
+"""
+
+from repro.protocol.layering import LayerConfig
+from repro.protocol.schedule import (
+    layer_block_range,
+    round_schedule,
+    transmission_stream,
+    one_level_stream,
+)
+from repro.protocol.congestion import CongestionPolicy, SubscriptionController
+from repro.protocol.server import LayeredServer
+from repro.protocol.receiver import LayeredReceiver
+from repro.protocol.session import SessionResult, run_session, run_single_layer_session
+
+__all__ = [
+    "LayerConfig",
+    "layer_block_range",
+    "round_schedule",
+    "transmission_stream",
+    "one_level_stream",
+    "CongestionPolicy",
+    "SubscriptionController",
+    "LayeredServer",
+    "LayeredReceiver",
+    "SessionResult",
+    "run_session",
+    "run_single_layer_session",
+]

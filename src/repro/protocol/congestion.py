@@ -1,0 +1,145 @@
+"""Sender-driven congestion control: synchronization points and bursts.
+
+The paper adopts the scheme of Vicisano, Rizzo and Crowcroft [19]
+(Section 7.1.1):
+
+* **Synchronization points (SPs)** are specially marked packets; "a
+  receiver can attempt to join a higher layer only immediately after an
+  SP, and keeps track of the history of events only from the last SP.
+  The rate at which SP's are sent in a stream is inversely proportional
+  to the bandwidth" — lower layers see SPs more often, giving slow
+  receivers frequent chances to move up.
+* **Burst periods**: "the server generates periodic bursts during which
+  packets are sent at twice the normal rate on each layer", probing the
+  spare capacity a join would consume.  "If a receiver feels no
+  congestion during the burst, it can safely increase its level at the
+  next SP.  Receivers drop to a lower subscription level in the event of
+  congestion."
+
+Both mechanisms are sender-driven: no receiver feedback reaches the
+source, which is the property that keeps the digital fountain fully
+scalable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.protocol.layering import LayerConfig
+
+
+@dataclass(frozen=True)
+class CongestionPolicy:
+    """Static protocol constants for SPs, bursts and receiver reactions.
+
+    Parameters
+    ----------
+    sp_base_interval:
+        Rounds between synchronization points *at the top layer*; layer
+        ``i`` sees SPs every ``sp_base_interval * 2^(g-1-i) / 2^(g-1)``
+        ... i.e. the interval halves as the layer rate halves, realising
+        the paper's "inversely proportional to the bandwidth".
+    burst_interval:
+        Rounds between the start of sender burst periods.
+    burst_length:
+        Rounds a burst lasts (packets sent at twice the rate).
+    drop_loss_threshold:
+        A receiver that lost more than this fraction of expected packets
+        since the last SP drops one level.
+    join_loss_threshold:
+        A receiver may join a higher level at an SP only when the loss
+        it observed during the most recent burst is at most this.
+    """
+
+    sp_base_interval: int = 16
+    burst_interval: int = 8
+    burst_length: int = 1
+    drop_loss_threshold: float = 0.25
+    join_loss_threshold: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.sp_base_interval < 1 or self.burst_interval < 1:
+            raise ParameterError("intervals must be >= 1 round")
+        if self.burst_length < 0 or self.burst_length >= self.burst_interval:
+            raise ParameterError(
+                "burst length must be >= 0 and shorter than the interval")
+        if not 0 <= self.join_loss_threshold <= self.drop_loss_threshold <= 1:
+            raise ParameterError(
+                "need 0 <= join threshold <= drop threshold <= 1")
+
+    def sp_interval(self, layer: int, config: LayerConfig) -> int:
+        """SP interval (in rounds) on ``layer``.
+
+        Inversely proportional to the layer's bandwidth, floored at one
+        round: the base layer gets the most frequent join opportunities.
+        """
+        top_rate = config.layer_rate(config.max_level)
+        rate = config.layer_rate(layer)
+        return max(1, self.sp_base_interval * rate // top_rate)
+
+    def is_sp_round(self, layer: int, round_index: int,
+                    config: LayerConfig) -> bool:
+        """Whether an SP closes this round on ``layer``."""
+        return (round_index + 1) % self.sp_interval(layer, config) == 0
+
+    def is_burst_round(self, round_index: int) -> bool:
+        """Whether the sender doubles its rate this round."""
+        return round_index % self.burst_interval < self.burst_length
+
+
+@dataclass
+class SubscriptionController:
+    """Receiver-side join/drop state machine.
+
+    Tracks per-SP-epoch loss and the loss observed during the most
+    recent completed burst, and decides level changes at SP boundaries
+    following the paper's rules.
+    """
+
+    policy: CongestionPolicy
+    config: LayerConfig
+    level: int = 0
+    expected_since_sp: int = 0
+    received_since_sp: int = 0
+    burst_expected: int = 0
+    burst_received: int = 0
+    last_burst_ok: Optional[bool] = None
+    joins: int = field(default=0)
+    drops: int = field(default=0)
+
+    def observe_round(self, expected: int, received: int,
+                      in_burst: bool) -> None:
+        """Account one round's packet counts at the current level."""
+        self.expected_since_sp += expected
+        self.received_since_sp += received
+        if in_burst:
+            self.burst_expected += expected
+            self.burst_received += received
+
+    def end_burst(self) -> None:
+        """A burst period completed; freeze its verdict."""
+        if self.burst_expected > 0:
+            loss = 1.0 - self.burst_received / self.burst_expected
+            self.last_burst_ok = loss <= self.policy.join_loss_threshold
+        self.burst_expected = 0
+        self.burst_received = 0
+
+    def at_sp(self) -> int:
+        """Apply the SP decision; returns the (possibly new) level."""
+        loss = 0.0
+        if self.expected_since_sp > 0:
+            loss = 1.0 - self.received_since_sp / self.expected_since_sp
+        if loss > self.policy.drop_loss_threshold and self.level > 0:
+            self.level -= 1
+            self.drops += 1
+            self.last_burst_ok = None
+        elif (self.last_burst_ok and loss <= self.policy.join_loss_threshold
+              and self.level < self.config.max_level):
+            self.level += 1
+            self.joins += 1
+            self.last_burst_ok = None
+        self.expected_since_sp = 0
+        self.received_since_sp = 0
+        return self.level

@@ -1,0 +1,164 @@
+"""End-to-end layered-multicast sessions (the Figure 8 experiments).
+
+Reproduces the paper's prototype measurements in simulation (the
+substitution of a discrete-event simulation for the Berkeley/CMU/Cornell
+testbed is documented in DESIGN.md section 5):
+
+* :func:`run_session` — the 4-layer protocol: receivers with
+  heterogeneous bottleneck capacities and ambient loss climb and drop
+  subscription levels via SP/burst congestion control while downloading
+  a Tornado-encoded file.
+* :func:`run_single_layer_session` — the single-group control
+  experiment ("these results allow us to focus on the efficiency of the
+  packet transmission scheme independent of the layering scheme").
+
+Each returns per-receiver :class:`SessionResult` records carrying the
+observed loss rate and the three efficiencies of Section 7.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.tornado.code import TornadoCode
+from repro.errors import ParameterError
+from repro.net.loss import BernoulliLoss, LossModel
+from repro.protocol.congestion import CongestionPolicy
+from repro.protocol.layering import LayerConfig
+from repro.protocol.receiver import LayeredReceiver
+from repro.protocol.server import LayeredServer
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome for one receiver of a session simulation."""
+
+    receiver_id: int
+    observed_loss: float
+    efficiency: float
+    coding_efficiency: float
+    distinctness_efficiency: float
+    completed: bool
+    rounds: int
+    level_changes: int
+
+    def as_row(self) -> str:  # pragma: no cover - cosmetic
+        return (f"recv {self.receiver_id:3d}  loss {self.observed_loss:6.1%}  "
+                f"eta {self.efficiency:6.1%}  eta_c {self.coding_efficiency:6.1%}  "
+                f"eta_d {self.distinctness_efficiency:6.1%}")
+
+
+def _result_from(receiver: LayeredReceiver, rid: int,
+                 rounds: int) -> SessionResult:
+    stats = receiver.stats()
+    return SessionResult(
+        receiver_id=rid,
+        observed_loss=receiver.observed_loss_rate(),
+        efficiency=stats.efficiency,
+        coding_efficiency=stats.coding_efficiency,
+        distinctness_efficiency=stats.distinctness_efficiency,
+        completed=receiver.is_complete,
+        rounds=receiver.completed_at_round + 1
+        if receiver.completed_at_round is not None else rounds,
+        level_changes=max(0, len(receiver.level_history) - 1),
+    )
+
+
+def run_session(code: TornadoCode,
+                ambient_loss_rates: Sequence[float],
+                capacity_multipliers: Sequence[float],
+                num_layers: int = 4,
+                policy: Optional[CongestionPolicy] = None,
+                max_rounds: int = 400,
+                seed: RngLike = 0) -> List[SessionResult]:
+    """Simulate the 4-layer protocol for a heterogeneous receiver set.
+
+    Parameters
+    ----------
+    code:
+        The shared Tornado code (the paper used Tornado A on a 2 MB file
+        split into 8264 500-byte packets).
+    ambient_loss_rates:
+        Per-receiver ambient (non-congestion) loss probability.
+    capacity_multipliers:
+        Per-receiver bottleneck capacity as a multiple of the base-layer
+        per-round packet count; values below ``2^(g-1)`` force the
+        receiver to live below the top level.
+    policy:
+        Congestion-control constants; defaults tuned so a download spans
+        several SP epochs (see :class:`CongestionPolicy`).
+    """
+    if len(ambient_loss_rates) != len(capacity_multipliers):
+        raise ParameterError("one capacity per ambient loss rate required")
+    if policy is None:
+        policy = CongestionPolicy(sp_base_interval=8, burst_interval=4)
+    config = LayerConfig(num_layers)
+    server = LayeredServer(code, config, policy, seed=seed,
+                           blocks_per_round=None)
+    # Pick a round granularity such that a full-subscription download
+    # spans ~dozens of rounds, giving SPs and bursts realistic
+    # sub-download timescales (see LayeredServer.blocks_per_round).
+    server = LayeredServer(code, config, policy, seed=seed,
+                           blocks_per_round=max(1, server.num_blocks // 16))
+    base_per_round = server.blocks_per_round  # layer-0 packets per round
+    receivers = []
+    for rid, (loss, cap_mult) in enumerate(
+            zip(ambient_loss_rates, capacity_multipliers)):
+        receivers.append(LayeredReceiver(
+            code, config, policy,
+            capacity_per_round=max(1, int(cap_mult * base_per_round)),
+            ambient_loss=BernoulliLoss(loss),
+            rng=spawn_rng(seed, 0xBEEF00 + rid),
+            start_level=0,
+        ))
+    for rnd in range(max_rounds):
+        per_layer, burst = server.next_round()
+        pending = False
+        for receiver in receivers:
+            receiver.process_round(rnd, per_layer, burst)
+            pending = pending or not receiver.is_complete
+        if not pending:
+            break
+    return [_result_from(r, rid, server.current_round)
+            for rid, r in enumerate(receivers)]
+
+
+def run_single_layer_session(code: TornadoCode,
+                             loss_rates: Sequence[float],
+                             max_rounds: int = 4000,
+                             seed: RngLike = 0) -> List[SessionResult]:
+    """Single multicast group at a fixed rate (Figure 8, left column).
+
+    Receivers never change level, so distinctness efficiency reflects
+    only carousel wrap-around: by the One Level Property it stays at
+    100% until the loss rate approaches ``(c-1-eps)/c`` (~50% minus the
+    code overhead at stretch 2).
+    """
+    config = LayerConfig(1)
+    policy = CongestionPolicy(sp_base_interval=10 ** 6,
+                              burst_interval=10 ** 6 - 1, burst_length=0)
+    server = LayeredServer(code, config, policy, seed=seed)
+    receivers = [
+        LayeredReceiver(
+            code, config, policy,
+            capacity_per_round=10 ** 9,  # no bottleneck: ambient loss only
+            ambient_loss=BernoulliLoss(p),
+            rng=spawn_rng(seed, 0xFACE00 + rid),
+            start_level=0,
+        )
+        for rid, p in enumerate(loss_rates)
+    ]
+    for rnd in range(max_rounds):
+        per_layer, burst = server.next_round()
+        pending = False
+        for receiver in receivers:
+            receiver.process_round(rnd, per_layer, burst)
+            pending = pending or not receiver.is_complete
+        if not pending:
+            break
+    return [_result_from(r, rid, server.current_round)
+            for rid, r in enumerate(receivers)]

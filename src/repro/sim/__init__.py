@@ -1,0 +1,50 @@
+"""Simulation harnesses behind the paper's evaluation figures.
+
+* :mod:`repro.sim.overhead` — reception-overhead distributions (Figure 2)
+  and threshold pools reused by the larger simulations.
+* :mod:`repro.sim.reception` — carousel reception under loss: packets
+  received until decode, for fountain and interleaved codes.
+* :mod:`repro.sim.receivers` — multi-receiver scaling (Figure 4) and
+  file-size scaling (Figure 5).
+* :mod:`repro.sim.tracesim` — trace-driven comparison (Figure 6).
+* :mod:`repro.sim.speedup` — the Table 4 decoding-speedup derivation.
+* :mod:`repro.sim.timemodel` — machine-local cost calibration for the
+  timing tables.
+"""
+
+from repro.sim.overhead import (
+    ThresholdPool,
+    sample_decode_thresholds,
+    overhead_statistics,
+    percent_unfinished_curve,
+)
+from repro.sim.reception import (
+    fountain_packets_until,
+    interleaved_packets_until,
+)
+from repro.sim.receivers import (
+    EfficiencyPool,
+    build_fountain_pool,
+    build_interleaved_pool,
+    scaling_experiment,
+)
+from repro.sim.tracesim import trace_experiment
+from repro.sim.speedup import max_blocks_within_overhead, speedup_table_entry
+from repro.sim.timemodel import TimingModel
+
+__all__ = [
+    "ThresholdPool",
+    "sample_decode_thresholds",
+    "overhead_statistics",
+    "percent_unfinished_curve",
+    "fountain_packets_until",
+    "interleaved_packets_until",
+    "EfficiencyPool",
+    "build_fountain_pool",
+    "build_interleaved_pool",
+    "scaling_experiment",
+    "trace_experiment",
+    "max_blocks_within_overhead",
+    "speedup_table_entry",
+    "TimingModel",
+]

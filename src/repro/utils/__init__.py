@@ -1,0 +1,6 @@
+"""Small shared utilities: RNG plumbing and statistics helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.stats import SummaryStats, summarize
+
+__all__ = ["ensure_rng", "spawn_rng", "SummaryStats", "summarize"]

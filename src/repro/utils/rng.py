@@ -1,0 +1,53 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either a seed (``int``),
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).
+:func:`ensure_rng` normalises all three into a ``Generator`` so that
+experiments are reproducible end to end when seeded.
+
+The sender and receiver of a Tornado code must agree on the code graph
+("the source and the clients have agreed to the graph structure in
+advance", paper section 5.1); they do so by sharing an integer seed, which
+:func:`spawn_rng` expands into independent per-component streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` creates a generator from OS entropy; an ``int`` seeds a new
+    generator deterministically; an existing generator is returned as is.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
+
+
+def spawn_rng(rng: RngLike, stream: int) -> np.random.Generator:
+    """Derive an independent, deterministic sub-generator.
+
+    Given the same ``rng`` seed and ``stream`` index this always returns a
+    generator producing the same sequence, while different ``stream``
+    values give statistically independent sequences.  Used to let a sender
+    and a receiver derive identical code graphs from one shared seed
+    without perturbing each other's simulation randomness.
+    """
+    if isinstance(rng, np.random.Generator):
+        # Fork deterministically off the generator's current state.
+        seed = int(rng.integers(0, 2**63 - 1))
+        return np.random.default_rng([seed, stream])
+    if rng is None:
+        return np.random.default_rng()
+    return np.random.default_rng([int(rng), stream])

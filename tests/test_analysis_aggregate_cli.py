@@ -1,0 +1,177 @@
+"""Analysis tools, multi-source aggregation, and the file CLI."""
+
+import numpy as np
+import pytest
+
+from repro.codes.tornado.analysis import (
+    asymptotic_threshold,
+    density_evolution_converges,
+    finite_length_threshold,
+    overhead_lower_bound,
+    peel_single_graph,
+)
+from repro.codes.tornado.degree import (
+    heavy_tail_distribution,
+    two_point_distribution,
+)
+from repro.codes.tornado.graph import _configuration_model
+from repro.codes.tornado.presets import tornado_a
+from repro.errors import DecodeFailure, ParameterError
+from repro.fountain.aggregate import (
+    MultiSourceClient,
+    simulate_aggregate_download,
+)
+from repro.net.loss import BernoulliLoss
+from repro.utils.rng import ensure_rng
+from repro import cli
+
+
+class TestDensityEvolution:
+    def test_low_delta_converges(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        assert density_evolution_converges(dist, 0.30)
+
+    def test_above_capacity_diverges(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        assert not density_evolution_converges(dist, 0.499)
+
+    def test_threshold_in_sane_band(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        threshold = asymptotic_threshold(dist, tolerance=1e-3)
+        assert 0.40 < threshold < 0.50
+
+    def test_heavy_tail_threshold_known_value(self):
+        """Heavy-tail D=8 with near-regular right: threshold ~0.47."""
+        threshold = asymptotic_threshold(heavy_tail_distribution(8),
+                                         tolerance=1e-3)
+        assert threshold == pytest.approx(0.472, abs=0.01)
+
+    def test_overhead_bound_consistent(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        bound = overhead_lower_bound(dist)
+        assert bound == pytest.approx(
+            1 - 2 * asymptotic_threshold(dist), abs=5e-3)
+
+    def test_delta_validation(self):
+        with pytest.raises(ParameterError):
+            density_evolution_converges(two_point_distribution(3, 20, 0.3),
+                                        1.5)
+
+
+class TestSingleGraphPeeling:
+    def test_no_loss_nothing_to_do(self):
+        g = _configuration_model(100, 50, two_point_distribution(3, 20, 0.3),
+                                 ensure_rng(0))
+        assert peel_single_graph(g, np.array([], dtype=np.int64)) == 0
+
+    def test_light_loss_recovers(self):
+        g = _configuration_model(400, 200,
+                                 two_point_distribution(3, 20, 0.3),
+                                 ensure_rng(1))
+        lost = ensure_rng(2).permutation(400)[:60]  # 15% loss
+        assert peel_single_graph(g, lost) == 0
+
+    def test_overload_cannot_recover(self):
+        """More erasures than checks is information-theoretically dead."""
+        g = _configuration_model(100, 50,
+                                 two_point_distribution(3, 20, 0.3),
+                                 ensure_rng(3))
+        lost = ensure_rng(4).permutation(100)[:70]
+        assert peel_single_graph(g, lost) > 0
+
+    def test_finite_threshold_below_asymptotic(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        finite = finite_length_threshold(dist, 300, trials=6, rng=5)
+        asym = asymptotic_threshold(dist, tolerance=1e-3)
+        assert finite.threshold <= asym + 0.02
+
+
+class TestAggregation:
+    def test_multi_source_client_counts(self):
+        code = tornado_a(200, seed=0)
+        client = MultiSourceClient(code)
+        client.receive_from(0, 5)
+        client.receive_from(1, 5)  # duplicate across mirrors
+        client.receive_from(1, 6)
+        assert client.total_received == 3
+        assert client.distinct_received == 2
+        assert client.reports[1].duplicate_rate == pytest.approx(0.5)
+
+    def test_more_mirrors_faster(self):
+        code = tornado_a(300, seed=1)
+        loss = BernoulliLoss(0.2)
+        one = simulate_aggregate_download(code, 1, loss, rng=2)
+        four = simulate_aggregate_download(code, 4, loss, rng=3)
+        assert four.slots < one.slots
+        assert four.stats.distinctness_efficiency <= 1.0
+
+    def test_single_mirror_matches_plain_carousel_order_of_magnitude(self):
+        code = tornado_a(300, seed=1)
+        result = simulate_aggregate_download(code, 1, BernoulliLoss(0.0),
+                                             rng=4)
+        # No loss, one mirror: completes within ~ (1+eps)k slots.
+        assert result.slots <= 1.35 * code.k
+
+    def test_index_validation(self):
+        code = tornado_a(100, seed=2)
+        client = MultiSourceClient(code)
+        with pytest.raises(ParameterError):
+            client.receive_from(0, code.n)
+
+    def test_impossible_download_raises(self):
+        code = tornado_a(150, seed=3)
+        from repro.net.loss import TraceLoss
+        outage = TraceLoss(np.ones(8, dtype=bool))
+        with pytest.raises(DecodeFailure):
+            simulate_aggregate_download(code, 2, outage, rng=5, max_cycles=2)
+
+
+class TestCli:
+    def test_encode_decode_roundtrip(self, tmp_path):
+        original = tmp_path / "input.bin"
+        payload = bytes(np.random.default_rng(0).integers(
+            0, 256, 50_000, dtype=np.uint8))
+        original.write_bytes(payload)
+        shards = tmp_path / "shards"
+        assert cli.main(["encode", str(original), str(shards),
+                         "--preset", "b", "--packet-size", "512"]) == 0
+        assert (shards / "manifest.json").exists()
+        out = tmp_path / "out.bin"
+        assert cli.main(["decode", str(shards), str(out)]) == 0
+        assert out.read_bytes() == payload
+
+    def test_decode_survives_losing_shards(self, tmp_path):
+        original = tmp_path / "input.bin"
+        original.write_bytes(b"x" * 120_000)
+        shards = tmp_path / "shards"
+        cli.main(["encode", str(original), str(shards),
+                  "--preset", "b", "--packet-size", "512"])
+        # Delete 40% of the shards, scattered.
+        all_shards = sorted(shards.glob("*.pkt"))
+        rng = np.random.default_rng(1)
+        for path in rng.permutation(all_shards)[:int(0.4 * len(all_shards))]:
+            path.unlink()
+        out = tmp_path / "out.bin"
+        assert cli.main(["decode", str(shards), str(out)]) == 0
+        assert out.read_bytes() == b"x" * 120_000
+
+    def test_decode_fails_cleanly_with_too_few(self, tmp_path):
+        original = tmp_path / "input.bin"
+        original.write_bytes(b"y" * 60_000)
+        shards = tmp_path / "shards"
+        cli.main(["encode", str(original), str(shards),
+                  "--packet-size", "512"])
+        all_shards = sorted(shards.glob("*.pkt"))
+        for path in all_shards[:int(0.8 * len(all_shards))]:
+            path.unlink()
+        assert cli.main(["decode", str(shards),
+                         str(tmp_path / "out.bin")]) == 1
+
+    def test_decode_without_manifest(self, tmp_path):
+        assert cli.main(["decode", str(tmp_path),
+                         str(tmp_path / "o.bin")]) == 2
+
+    def test_info(self, capsys):
+        assert cli.main(["info", "--k", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "tornado-a k=500" in out

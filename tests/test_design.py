@@ -1,0 +1,68 @@
+"""LP-based degree-distribution design tools."""
+
+import numpy as np
+import pytest
+
+from repro.codes.tornado.degree import heavy_tail_distribution
+from repro.codes.tornado.design import (
+    design_left_distribution,
+    edge_to_node_distribution,
+    max_design_delta,
+    node_to_edge_fractions,
+    peeling_condition,
+    rho_polynomial,
+)
+from repro.errors import ParameterError
+
+
+def test_edge_node_conversion_roundtrip():
+    dist = heavy_tail_distribution(10)
+    degrees, lam = node_to_edge_fractions(dist)
+    back = edge_to_node_distribution(degrees.astype(float), lam)
+    assert back.degrees == dist.degrees
+    assert np.allclose(back.probabilities, dist.probabilities)
+
+
+def test_rho_polynomial_integer_degree():
+    x = np.linspace(0, 1, 5)
+    assert np.allclose(rho_polynomial(6.0, x), x ** 5)
+
+
+def test_rho_polynomial_fractional_degree_bounds():
+    x = np.linspace(0, 1, 20)
+    mixed = rho_polynomial(6.5, x)
+    assert np.all(mixed <= x ** 5 + 1e-12)
+    assert np.all(mixed >= x ** 6 - 1e-12)
+
+
+def test_peeling_condition_sign():
+    """Below threshold the DE slack is positive; above, negative."""
+    dist = heavy_tail_distribution(8)
+    degrees, lam = node_to_edge_fractions(dist)
+    avg_right = dist.average_degree / 0.5
+    assert peeling_condition(0.30, degrees, lam, avg_right) > 0
+    assert peeling_condition(0.49, degrees, lam, avg_right) < 0
+
+
+def test_design_feasible_at_moderate_delta():
+    result = design_left_distribution(0.40, avg_left=4.0)
+    assert result is not None
+    assert result.distribution.average_degree == pytest.approx(4.0, abs=0.2)
+    # The verification grid is finer than the LP grid, so allow numerical
+    # slack at the 1e-4 level.
+    assert result.slack >= -1e-4
+
+
+def test_design_infeasible_beyond_capacity():
+    # Loss beyond beta = 0.5 is information-theoretically impossible.
+    assert design_left_distribution(0.55, avg_left=4.0) is None
+
+
+def test_design_validates_delta():
+    with pytest.raises(ParameterError):
+        design_left_distribution(0.0, avg_left=4.0)
+
+
+def test_max_design_delta_bracket():
+    delta = max_design_delta(4.0, max_degree=40, tolerance=5e-3)
+    assert 0.4 < delta < 0.5

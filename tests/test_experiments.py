@@ -1,0 +1,120 @@
+"""Experiment runners produce well-formed results at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2, figure4, figure5, figure6, figure8
+from repro.experiments import table1, table2, table3, table4, table5
+from repro.experiments.report import Table, render_series, render_table, seconds
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        table = Table(title="T", header=["a", "bbbb"], rows=[["1", "2"]])
+        out = render_table(table)
+        assert "T" in out and "bbbb" in out
+
+    def test_render_series(self):
+        out = render_series("S", "x", "y", [("s1", [1, 2], [0.5, 0.25])])
+        assert "s1" in out and "0.500" in out
+
+    def test_seconds_formatting(self):
+        assert seconds(123.4) == "123 s"
+        assert seconds(1.5) == "1.50 s"
+        assert seconds(0.0015).endswith("ms")
+        assert seconds(1e-5).endswith("us")
+
+
+class TestTableRunners:
+    def test_table1(self):
+        result = table1.run(k_small=60, k_large=240, payload=64, trials=4)
+        assert result.tornado_overhead > 0
+        assert result.rs_overhead == pytest.approx(0.0)
+        # RS scales worse than Tornado between the two sizes.
+        assert result.rs_time_ratio > result.tornado_time_ratio
+        out = render_table(table1.build_table(result))
+        assert "XOR" in out
+
+    def test_table2_shape_and_extrapolation(self):
+        # Sizes above the cap threshold (128), where the cascade exists;
+        # below it a Tornado code degenerates to the RS cap and there is
+        # deliberately no speed gap.
+        result = table2.run(sizes_kb=[384, 768], payload=128, rs_max_kb=384)
+        assert result.cells["cauchy"][768].extrapolated
+        assert not result.cells["cauchy"][384].extrapolated
+        # Tornado beats RS at equal size.
+        assert (result.cells["tornado-a"][384].seconds
+                < result.cells["cauchy"][384].seconds)
+        render_table(table2.build_table(result))
+
+    def test_table3(self):
+        result = table3.run(sizes_kb=[384], payload=128, rs_max_kb=384)
+        assert (result.cells["tornado-a"][384].seconds
+                < result.cells["cauchy"][384].seconds)
+        assert result.tornado_packets_used["tornado-a"][384] >= 384
+        render_table(table3.build_table(result))
+
+    def test_table4_cell(self):
+        result = table4.run(sizes_kb=[200], loss_rates=[0.1, 0.5],
+                            threshold_trials=10, search_trials=10,
+                            payload=64)
+        entry_low = result.entries[200][0.1]
+        entry_high = result.entries[200][0.5]
+        assert entry_low.speedup > 1.0
+        # Higher loss forces fewer blocks -> bigger per-block cost.
+        assert entry_high.num_blocks <= entry_low.num_blocks
+        render_table(table4.build_table(result))
+
+    def test_table5_matches_paper(self):
+        matrix, olp, matches = table5.run()
+        assert olp and matches
+        render_table(table5.build_table(matrix, 4, 8, olp, matches))
+
+
+class TestFigureRunners:
+    def test_figure2(self):
+        result = figure2.run(k=300, trials=12, seed=1)
+        assert set(result.stats) == {"tornado-a", "tornado-b"}
+        a = result.stats["tornado-a"]
+        b = result.stats["tornado-b"]
+        assert b.mean < a.mean  # B buys lower overhead
+        figure2.render(result)
+
+    def test_figure4_shape(self):
+        result = figure4.run(k=300, loss_rates=[0.5],
+                             receiver_counts=[1, 10, 100],
+                             pool_size=30, threshold_trials=15,
+                             experiments=20, seed=2)
+        curves = result.curves[0.5]
+        tornado = curves["tornado-a"]
+        inter20 = curves["interleaved k=20"]
+        # Tornado's worst case beats small-block interleaving at scale.
+        assert tornado[-1].worst > inter20[-1].worst
+        figure4.render(result)
+
+    def test_figure5_shape(self):
+        result = figure5.run(sizes_kb=[150, 400], loss_rates=[0.5],
+                             num_receivers=50, pool_size=25,
+                             threshold_trials=12, experiments=10, seed=3)
+        per_code = result.values[0.5]
+        inter = per_code["interleaved k=20"][0]  # averages per size
+        assert inter[1] < inter[0]  # interleaving decays with file size
+        figure5.render(result)
+
+    def test_figure6_runs(self):
+        result = figure6.run(sizes_kb=[150], num_receivers=12,
+                             trace_length=20_000, threshold_trials=8,
+                             seed=4)
+        assert result.results
+        assert 0.05 < result.average_trace_loss < 0.35
+        figure6.render(result)
+
+    def test_figure8_shapes(self):
+        result = figure8.run(k=300, single_loss_rates=[0.05, 0.65],
+                             layered_receivers=4, seed=5)
+        low, high = sorted(result.single_layer,
+                           key=lambda r: r.observed_loss)
+        assert low.distinctness_efficiency == pytest.approx(1.0)
+        assert high.distinctness_efficiency < 1.0
+        assert all(r.completed for r in result.layered)
+        figure8.render(result)

@@ -1,0 +1,174 @@
+"""Fountain layer: packet framing, carousel, client, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.reed_solomon import cauchy_code
+from repro.codes.tornado.presets import tornado_a
+from repro.errors import DecodeFailure, ParameterError, ProtocolError
+from repro.fountain.carousel import CarouselServer
+from repro.fountain.client import ClientMode, FountainClient
+from repro.fountain.metrics import ReceptionStats
+from repro.fountain.packets import HEADER_SIZE, EncodingPacket, PacketHeader
+
+
+class TestPackets:
+    def test_header_is_12_bytes(self):
+        assert HEADER_SIZE == 12
+        assert len(PacketHeader(1, 2, 3).pack()) == 12
+
+    @given(index=st.integers(0, 2**32 - 1), serial=st.integers(0, 2**32 - 1),
+           group=st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_header_roundtrip(self, index, serial, group):
+        header = PacketHeader(index, serial, group)
+        assert PacketHeader.unpack(header.pack()) == header
+
+    def test_header_range_checks(self):
+        with pytest.raises(ProtocolError):
+            PacketHeader(-1, 0, 0)
+        with pytest.raises(ProtocolError):
+            PacketHeader(2**32, 0, 0)
+
+    def test_unpack_short_buffer(self):
+        with pytest.raises(ProtocolError):
+            PacketHeader.unpack(b"short")
+
+    def test_packet_roundtrip(self):
+        payload = np.arange(20, dtype=np.uint8)
+        pkt = EncodingPacket(PacketHeader(7, 9, 1), payload)
+        restored = EncodingPacket.from_bytes(pkt.to_bytes())
+        assert restored.header == pkt.header
+        assert np.array_equal(restored.payload, payload)
+        assert pkt.wire_size == HEADER_SIZE + 20
+
+
+class TestCarousel:
+    def test_cycles_through_permutation(self):
+        code = cauchy_code(8)
+        rng = np.random.default_rng(0)
+        enc = code.encode(rng.integers(0, 256, size=(8, 4), dtype=np.uint8))
+        server = CarouselServer(code, enc, seed=1)
+        indices = [p.index for p in server.packets(2 * code.n)]
+        assert sorted(indices[:code.n]) == list(range(code.n))
+        assert indices[:code.n] == indices[code.n:]
+
+    def test_serials_increase(self):
+        code = cauchy_code(4)
+        enc = code.encode(np.zeros((4, 2), dtype=np.uint8))
+        server = CarouselServer(code, enc, seed=2)
+        serials = [p.header.serial for p in server.packets(10)]
+        assert serials == list(range(10))
+
+    def test_index_stream_stateless(self):
+        code = cauchy_code(8)
+        server = CarouselServer(code, seed=3)
+        a = server.index_stream(20)
+        b = server.index_stream(20)
+        assert np.array_equal(a, b)
+
+    def test_explicit_order_validated(self):
+        code = cauchy_code(4)
+        with pytest.raises(ParameterError):
+            CarouselServer(code, order=[0, 1, 2])  # not a full permutation
+        server = CarouselServer(code, order=list(range(code.n)))
+        assert np.array_equal(server.index_stream(code.n),
+                              np.arange(code.n))
+
+    def test_index_only_cannot_emit_payloads(self):
+        server = CarouselServer(cauchy_code(4), seed=4)
+        with pytest.raises(ParameterError):
+            next(server.packets(1))
+
+    def test_reset(self):
+        code = cauchy_code(4)
+        enc = code.encode(np.zeros((4, 2), dtype=np.uint8))
+        server = CarouselServer(code, enc, seed=5)
+        first = [p.index for p in server.packets(3)]
+        server.reset()
+        assert [p.index for p in server.packets(3)] == first
+
+
+class TestClient:
+    def _run_client(self, mode, loss_seed=0):
+        code = tornado_a(150, seed=6)
+        rng = np.random.default_rng(7)
+        src = rng.integers(0, 256, size=(150, 8), dtype=np.uint8)
+        enc = code.encode(src)
+        server = CarouselServer(code, enc, seed=8)
+        client = FountainClient(code, mode=mode)
+        loss_rng = np.random.default_rng(loss_seed)
+        for packet in server.packets(20 * code.n):
+            if loss_rng.random() < 0.3:
+                continue
+            if client.receive(packet):
+                break
+        return client, src
+
+    @pytest.mark.parametrize("mode", [ClientMode.INCREMENTAL,
+                                      ClientMode.STATISTICAL])
+    def test_client_reconstructs(self, mode):
+        client, src = self._run_client(mode)
+        assert client.is_complete
+        assert np.array_equal(client.source_data(), src)
+
+    def test_statistical_makes_attempts(self):
+        client, _ = self._run_client(ClientMode.STATISTICAL)
+        assert client.decode_attempts >= 1
+
+    def test_metrics_identity(self):
+        client, _ = self._run_client(ClientMode.INCREMENTAL)
+        stats = client.stats()
+        assert stats.efficiency == pytest.approx(
+            stats.coding_efficiency * stats.distinctness_efficiency)
+
+    def test_incomplete_client_raises(self):
+        code = tornado_a(150, seed=6)
+        client = FountainClient(code)
+        with pytest.raises(DecodeFailure):
+            client.source_data()
+
+    def test_rs_client(self):
+        code = cauchy_code(20)
+        rng = np.random.default_rng(9)
+        src = rng.integers(0, 256, size=(20, 4), dtype=np.uint8)
+        enc = code.encode(src)
+        server = CarouselServer(code, enc, seed=10)
+        client = FountainClient(code)
+        for packet in server.packets(code.n):
+            if client.receive(packet):
+                break
+        assert client.distinct_received == code.k  # MDS: exactly k
+        assert np.array_equal(client.source_data(), src)
+
+
+class TestReceptionStats:
+    def test_identity(self):
+        stats = ReceptionStats(100, 110, 120)
+        assert stats.efficiency == pytest.approx(100 / 120)
+        assert stats.coding_efficiency == pytest.approx(100 / 110)
+        assert stats.distinctness_efficiency == pytest.approx(110 / 120)
+        assert stats.efficiency == pytest.approx(
+            stats.coding_efficiency * stats.distinctness_efficiency)
+        assert stats.duplicates == 10
+        assert stats.reception_overhead == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ReceptionStats(0, 1, 1)
+        with pytest.raises(ParameterError):
+            ReceptionStats(10, 5, 4)
+
+    @given(k=st.integers(1, 1000), distinct=st.integers(1, 2000),
+           extra=st.integers(0, 500))
+    @settings(max_examples=60)
+    def test_identity_property(self, k, distinct, extra):
+        stats = ReceptionStats(k, distinct, distinct + extra)
+        assert stats.efficiency == pytest.approx(
+            stats.coding_efficiency * stats.distinctness_efficiency)
+
+    def test_impossible_counters_rejected(self):
+        with pytest.raises(ParameterError):
+            ReceptionStats(10, 0, 5)

@@ -1,0 +1,136 @@
+"""Field axioms and vectorised arithmetic for GF(2^8) / GF(2^16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, ParameterError
+from repro.gf import GF256, GF65536
+from repro.gf.field import BinaryExtensionField
+
+FIELDS = [GF256, GF65536]
+
+
+def elements(field):
+    return st.integers(min_value=0, max_value=field.order - 1)
+
+
+def nonzero(field):
+    return st.integers(min_value=1, max_value=field.order - 1)
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=["gf256", "gf65536"])
+class TestFieldAxioms:
+    def test_add_is_xor(self, field):
+        assert field.add(0b1010, 0b0110) == 0b1100
+
+    def test_mul_identity(self, field):
+        for a in (1, 2, 7, field.order - 1):
+            assert field.mul(a, 1) == a
+
+    def test_mul_zero(self, field):
+        assert field.mul(0, 5) == 0
+        assert field.mul(5, 0) == 0
+
+    def test_inverse_roundtrip(self, field):
+        for a in (1, 2, 3, 100, field.order - 1):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_div_by_zero_raises(self, field):
+        with pytest.raises(FieldError):
+            field.div(1, 0)
+
+    def test_inv_zero_raises(self, field):
+        with pytest.raises(FieldError):
+            field.inv(0)
+
+    def test_pow_matches_repeated_mul(self, field):
+        a = 3
+        acc = 1
+        for e in range(5):
+            assert field.pow(a, e) == acc
+            acc = field.mul(acc, a)
+
+    def test_pow_negative(self, field):
+        a = 7
+        assert field.mul(field.pow(a, -1), a) == 1
+
+    def test_generator_order(self, field):
+        # exp table wraps after order-1 steps: g^(order-1) == 1
+        assert field.exp(field.order - 1) == field.exp(0) == 1
+
+
+@given(a=elements(GF256), b=elements(GF256), c=elements(GF256))
+@settings(max_examples=200)
+def test_gf256_mul_commutative_associative_distributive(a, b, c):
+    f = GF256
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.mul(a, f.mul(b, c)) == f.mul(f.mul(a, b), c)
+    assert f.mul(a, b ^ c) == f.mul(a, b) ^ f.mul(a, c)
+
+
+@given(a=nonzero(GF256), b=nonzero(GF256))
+@settings(max_examples=100)
+def test_gf256_division_inverts_multiplication(a, b):
+    f = GF256
+    assert f.div(f.mul(a, b), b) == a
+
+
+@given(a=elements(GF65536), b=elements(GF65536))
+@settings(max_examples=60)
+def test_gf65536_mul_commutative(a, b):
+    assert GF65536.mul(a, b) == GF65536.mul(b, a)
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=["gf256", "gf65536"])
+def test_vectorised_mul_matches_scalar(field):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, field.order, size=64).astype(field.dtype)
+    b = rng.integers(0, field.order, size=64).astype(field.dtype)
+    vec = field.mul_vec(a, b)
+    for i in range(a.size):
+        assert int(vec[i]) == field.mul(int(a[i]), int(b[i]))
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=["gf256", "gf65536"])
+def test_scalar_mul_vec_matches_scalar(field):
+    rng = np.random.default_rng(2)
+    vec = rng.integers(0, field.order, size=33).astype(field.dtype)
+    for scalar in (0, 1, 2, 19):
+        out = field.scalar_mul_vec(scalar, vec)
+        for i in range(vec.size):
+            assert int(out[i]) == field.mul(scalar, int(vec[i]))
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=["gf256", "gf65536"])
+def test_addmul_vec_accumulates(field):
+    rng = np.random.default_rng(3)
+    acc = rng.integers(0, field.order, size=16).astype(field.dtype)
+    vec = rng.integers(0, field.order, size=16).astype(field.dtype)
+    expected = acc ^ field.scalar_mul_vec(5, vec)
+    field.addmul_vec(acc, 5, vec)
+    assert np.array_equal(acc, expected)
+
+
+def test_inv_vec_rejects_zero():
+    with pytest.raises(FieldError):
+        GF256.inv_vec(np.array([1, 0, 2], dtype=np.uint8))
+
+
+def test_elements_bounds():
+    with pytest.raises(ParameterError):
+        GF256.elements(257)
+    assert GF256.elements(3, start=1).tolist() == [1, 2, 3]
+
+
+def test_nonprimitive_poly_rejected():
+    # x^8 + 1 is not primitive for GF(2^8).
+    with pytest.raises(FieldError):
+        BinaryExtensionField(8, 0x101, np.uint8)
+
+
+def test_field_equality_and_hash():
+    assert GF256 == GF256
+    assert GF256 != GF65536
+    assert hash(GF256) != hash(GF65536)

@@ -1,0 +1,183 @@
+"""Loss models, traces, channels, multicast fabric, event loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.reed_solomon import cauchy_code
+from repro.errors import ParameterError
+from repro.fountain.carousel import CarouselServer
+from repro.fountain.packets import EncodingPacket, PacketHeader
+from repro.net.channel import LossyChannel
+from repro.net.events import EventLoop
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, TraceLoss
+from repro.net.multicast import MulticastNetwork
+from repro.net.traces import synthesize_mbone_traces
+
+
+class TestBernoulli:
+    def test_rate_matches(self):
+        model = BernoulliLoss(0.3)
+        losses = model.losses(50_000, 0)
+        assert abs(losses.mean() - 0.3) < 0.01
+        assert model.expected_loss_rate() == 0.3
+
+    def test_zero_loss(self):
+        assert not BernoulliLoss(0.0).losses(100, 0).any()
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            BernoulliLoss(1.0)
+        with pytest.raises(ParameterError):
+            BernoulliLoss(-0.1)
+
+    def test_deliveries_complement(self):
+        model = BernoulliLoss(0.5)
+        a = model.losses(100, 7)
+        b = model.deliveries(100, 7)
+        assert np.array_equal(a, ~b)
+
+
+class TestGilbertElliott:
+    def test_stationary_rate(self):
+        model = GilbertElliottLoss.from_loss_and_burst(0.2, 5.0)
+        assert model.expected_loss_rate() == pytest.approx(0.2)
+        losses = model.losses(60_000, 1)
+        assert abs(losses.mean() - 0.2) < 0.02
+
+    def test_burstiness(self):
+        """Mean run length of losses should approach the burst target."""
+        model = GilbertElliottLoss.from_loss_and_burst(0.2, 8.0)
+        losses = model.losses(60_000, 2).astype(int)
+        changes = np.diff(losses)
+        starts = int((changes == 1).sum())
+        total_lost = int(losses.sum())
+        mean_burst = total_lost / max(starts, 1)
+        assert mean_burst > 4.0  # far burstier than Bernoulli (~1.25)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            GilbertElliottLoss(0.0, 0.5)
+        with pytest.raises(ParameterError):
+            GilbertElliottLoss.from_loss_and_burst(0.2, 0.5)
+
+
+class TestTraceLoss:
+    def test_replay_with_offset(self):
+        trace = np.array([True, False, False, True])
+        model = TraceLoss(trace, offset=1)
+        out = model.losses(6)
+        assert out.tolist() == [False, False, True, True, False, False]
+
+    def test_rate(self):
+        model = TraceLoss(np.array([True, False]))
+        assert model.expected_loss_rate() == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            TraceLoss(np.zeros((2, 2), dtype=bool))
+
+
+class TestSyntheticTraces:
+    def test_shape_and_calibration(self):
+        traces = synthesize_mbone_traces(40, 30_000, rng=3)
+        assert traces.num_receivers == 40
+        assert traces.length == 30_000
+        rates = traces.loss_rates()
+        # Heterogeneous: low-loss and high-loss receivers both present.
+        assert rates.min() < 0.08
+        assert rates.max() > 0.25
+        # Ensemble mean near the paper's ~18% (tolerant band).
+        assert 0.10 < traces.average_loss_rate() < 0.30
+
+    def test_offsets_in_range(self):
+        traces = synthesize_mbone_traces(5, 1000, rng=4)
+        offsets = traces.random_offsets(5)
+        assert offsets.size == 5
+        assert (offsets >= 0).all() and (offsets < 1000).all()
+
+    def test_loss_model_roundtrip(self):
+        traces = synthesize_mbone_traces(3, 1000, rng=5)
+        model = traces.loss_model(1, offset=10)
+        assert model.losses(5).tolist() == traces.traces[1][10:15].tolist()
+
+
+class TestChannel:
+    def test_observed_rate(self):
+        channel = LossyChannel(BernoulliLoss(0.4), rng=0)
+        channel.delivery_mask(20_000)
+        assert abs(channel.observed_loss_rate - 0.4) < 0.02
+
+    def test_transmit_filters(self):
+        code = cauchy_code(8)
+        enc = code.encode(np.zeros((8, 2), dtype=np.uint8))
+        server = CarouselServer(code, enc, seed=1)
+        channel = LossyChannel(BernoulliLoss(0.5), rng=2)
+        survivors = list(channel.transmit(server.packets(200)))
+        assert 0 < len(survivors) < 200
+        assert channel.sent == 200
+        assert channel.delivered == len(survivors)
+
+
+class TestMulticast:
+    def test_join_leave_delivery(self):
+        net = MulticastNetwork(2)
+        net.attach_receiver(1, LossyChannel(BernoulliLoss(0.0), rng=0))
+        net.attach_receiver(2, LossyChannel(BernoulliLoss(0.0), rng=1))
+        net.join(1, 0)
+        net.join(2, 1)
+        got = []
+        pkt = EncodingPacket(PacketHeader(0, 0, 0),
+                             np.zeros(2, dtype=np.uint8))
+        net.transmit(0, pkt, lambda rid, p: got.append(rid))
+        assert got == [1]
+        net.leave(1, 0)
+        net.transmit(0, pkt, lambda rid, p: got.append(rid))
+        assert got == [1]
+        assert net.subscribed_groups(2) == [1]
+
+    def test_unattached_receiver_rejected(self):
+        net = MulticastNetwork(1)
+        with pytest.raises(ParameterError):
+            net.join(5, 0)
+
+
+class TestEventLoop:
+    def test_ordering(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(5, lambda: seen.append("b"))
+        loop.schedule(1, lambda: seen.append("a"))
+        loop.schedule(5, lambda: seen.append("c"))
+        loop.run_until(10)
+        assert seen == ["a", "b", "c"]
+        assert loop.now == 10
+
+    def test_schedule_in(self):
+        loop = EventLoop()
+        seen = []
+        loop.run_until(3)
+        loop.schedule_in(2, lambda: seen.append(loop.now))
+        loop.run_all()
+        assert seen == [5]
+
+    def test_no_past_scheduling(self):
+        loop = EventLoop()
+        loop.run_until(10)
+        with pytest.raises(ParameterError):
+            loop.schedule(5, lambda: None)
+
+    def test_cascading_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def recurring():
+            seen.append(loop.now)
+            if loop.now < 6:
+                loop.schedule_in(2, recurring)
+
+        loop.schedule(0, recurring)
+        loop.run_all()
+        assert seen == [0, 2, 4, 6]
+        assert loop.pending == 0

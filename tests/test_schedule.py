@@ -1,0 +1,131 @@
+"""Reverse-binary schedule: Table 5 fidelity and the One Level Property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.experiments.table5 import PAPER_TABLE5
+from repro.protocol.layering import LayerConfig
+from repro.protocol.schedule import (
+    layer_block_range,
+    one_level_stream,
+    round_schedule,
+    table5_matrix,
+    transmission_stream,
+    verify_one_level_property,
+)
+
+
+class TestLayerConfig:
+    def test_geometric_rates(self):
+        config = LayerConfig(4)
+        assert config.rates() == [1, 1, 2, 4]
+        assert config.block_size == 8
+        assert config.level_rate(3) == 8
+        assert config.level_rate(1) == 2
+
+    def test_single_layer(self):
+        config = LayerConfig(1)
+        assert config.block_size == 1
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            LayerConfig(0)
+        with pytest.raises(ParameterError):
+            LayerConfig(3).layer_rate(3)
+
+
+class TestTable5:
+    def test_matches_paper_exactly(self):
+        assert table5_matrix(4, 8) == PAPER_TABLE5
+
+    def test_round_tiles_block(self):
+        """Within every round, the layers' ranges tile the block."""
+        for g in (2, 3, 4, 5):
+            block = LayerConfig(g).block_size
+            for rnd in range(2 ** g):
+                covered = []
+                for start, length in round_schedule(rnd, g):
+                    covered.extend(range(start, start + length))
+                assert sorted(covered) == list(range(block)), (g, rnd)
+
+    def test_period(self):
+        g = 4
+        for layer in range(g):
+            assert layer_block_range(layer, 0, g) == \
+                layer_block_range(layer, 8, g)
+
+    def test_range_sizes_match_rates(self):
+        config = LayerConfig(5)
+        for layer in range(5):
+            __, length = layer_block_range(layer, 3, 5)
+            assert length == config.layer_rate(layer)
+
+    def test_invalid_layer(self):
+        with pytest.raises(ParameterError):
+            layer_block_range(4, 0, 4)
+
+
+class TestOneLevelProperty:
+    @pytest.mark.parametrize("g", [1, 2, 3, 4, 5])
+    def test_verified_for_all_layer_counts(self, g):
+        config = LayerConfig(g)
+        assert verify_one_level_property(config, config.block_size * 4)
+
+    def test_per_layer_permutation(self):
+        """Each layer alone sends a permutation before repeating."""
+        config = LayerConfig(4)
+        n = config.block_size * 3
+        for layer in range(4):
+            rate = config.layer_rate(layer) * (n // config.block_size)
+            rounds_for_pass = n // rate
+            stream = list(transmission_stream(layer, config, n,
+                                              rounds_for_pass))
+            assert sorted(stream) == list(range(n))
+
+    def test_level_stream_round_structure(self):
+        config = LayerConfig(3)
+        n = config.block_size * 2
+        stream = list(one_level_stream(1, config, n, num_rounds=2))
+        # level 1 = layers 0 and 1, each rate 1 per block: 2 blocks ->
+        # 4 packets per round.
+        per_round = [t for t in stream if t[0] == 0]
+        assert len(per_round) == 4
+
+    def test_encoding_size_must_align(self):
+        config = LayerConfig(3)
+        with pytest.raises(ParameterError):
+            list(transmission_stream(0, config, 10, 1))
+
+
+@given(g=st.integers(min_value=1, max_value=6),
+       rnd=st.integers(min_value=0, max_value=200))
+@settings(max_examples=80)
+def test_tiling_property(g, rnd):
+    """Disjoint full-block coverage holds for every g and round."""
+    block = LayerConfig(g).block_size
+    covered = []
+    for start, length in round_schedule(rnd, g):
+        covered.extend(range(start, start + length))
+    assert sorted(covered) == list(range(block))
+
+
+@given(g=st.integers(min_value=2, max_value=5),
+       level=st.integers(min_value=0, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_one_level_property_random(g, level):
+    if level >= g:
+        level = g - 1
+    config = LayerConfig(g)
+    n = config.block_size * 2
+    seen = set()
+    count = 0
+    for _, _, idx in one_level_stream(level, config, n, num_rounds=2 ** g):
+        if count >= n:
+            break
+        assert idx not in seen, "duplicate before full coverage"
+        seen.add(idx)
+        count += 1
+    assert len(seen) == n

@@ -1,0 +1,180 @@
+"""Simulation harnesses: overhead sampling, reception sims, scaling, speedup."""
+
+import numpy as np
+import pytest
+
+from repro.codes.interleaved import InterleavedCode
+from repro.codes.reed_solomon import cauchy_code
+from repro.codes.tornado.presets import tornado_a
+from repro.errors import DecodeFailure, ParameterError
+from repro.net.loss import BernoulliLoss, TraceLoss
+from repro.net.traces import synthesize_mbone_traces
+from repro.sim.overhead import (
+    ThresholdPool,
+    overhead_statistics,
+    percent_unfinished_curve,
+    sample_decode_thresholds,
+)
+from repro.sim.reception import fountain_packets_until, interleaved_packets_until
+from repro.sim.receivers import (
+    build_fountain_pool,
+    build_interleaved_pool,
+    scaling_experiment,
+)
+from repro.sim.speedup import max_blocks_within_overhead, speedup_table_entry
+from repro.sim.timemodel import TimingModel
+from repro.sim.tracesim import trace_fountain_efficiency
+
+
+class TestOverheadSampling:
+    def test_rs_thresholds_exactly_k(self):
+        code = cauchy_code(30)
+        thresholds = sample_decode_thresholds(code, 10, rng=0)
+        assert (thresholds == 30).all()
+
+    def test_tornado_thresholds_above_k(self):
+        code = tornado_a(300, seed=1)
+        thresholds = sample_decode_thresholds(code, 8, rng=1)
+        assert (thresholds >= 300).all()
+        assert (thresholds <= code.n).all()
+
+    def test_statistics(self):
+        stats = overhead_statistics([110, 120], k=100)
+        assert stats.mean == pytest.approx(0.15)
+        assert stats.minimum == pytest.approx(0.10)
+        assert stats.maximum == pytest.approx(0.20)
+
+    def test_unfinished_curve_monotone(self):
+        grid, pct = percent_unfinished_curve([110, 115, 120, 150], k=100)
+        assert pct[0] == 100.0
+        assert (np.diff(pct) <= 0).all()
+        assert pct[-1] == 0.0
+
+    def test_pool_sampling(self):
+        pool = ThresholdPool(thresholds=np.array([100, 200]), k=100)
+        draws = pool.sample(1000, rng=2)
+        assert set(np.unique(draws)) <= {100, 200}
+
+    def test_empty_trials_rejected(self):
+        with pytest.raises(ParameterError):
+            sample_decode_thresholds(cauchy_code(4), 0)
+
+
+class TestFountainReception:
+    def test_no_loss_exact(self):
+        # threshold distinct packets with no loss -> exactly threshold.
+        total = fountain_packets_until(50, 100, BernoulliLoss(0.0), rng=0)
+        assert total == 50
+
+    def test_loss_increases_total(self):
+        t_lossy = fountain_packets_until(90, 100, BernoulliLoss(0.5), rng=1)
+        assert t_lossy >= 90
+
+    def test_wraparound_duplicates(self):
+        """Needing more than one cycle's survivors forces duplicates."""
+        rng = np.random.default_rng(2)
+        totals = [fountain_packets_until(95, 100, BernoulliLoss(0.5),
+                                         rng=rng) for _ in range(20)]
+        assert max(totals) > 100  # some runs must wrap the carousel
+
+    def test_threshold_validation(self):
+        with pytest.raises(ParameterError):
+            fountain_packets_until(0, 10, BernoulliLoss(0.1))
+        with pytest.raises(ParameterError):
+            fountain_packets_until(11, 10, BernoulliLoss(0.1))
+
+    def test_impossible_raises(self):
+        # complete outage: never completes within max_cycles
+        trace = TraceLoss(np.ones(10, dtype=bool))
+        with pytest.raises(DecodeFailure):
+            fountain_packets_until(5, 10, trace, rng=0, max_cycles=3)
+
+
+class TestInterleavedReception:
+    def test_no_loss_counts_until_all_blocks_full(self):
+        code = InterleavedCode(40, 20)
+        total = interleaved_packets_until(code, BernoulliLoss(0.0), rng=0)
+        # Interleaved order fills both blocks' source quota after exactly
+        # 2 * 20 slots (one packet per block in turn).
+        assert total == 40
+
+    def test_matches_packets_to_decode_under_no_loss(self):
+        code = InterleavedCode(60, 20)
+        total = interleaved_packets_until(code, BernoulliLoss(0.0), rng=0)
+        assert total == code.packets_to_decode(code.carousel_order())
+
+    def test_loss_worsens_with_more_blocks(self):
+        rng = np.random.default_rng(3)
+        few = InterleavedCode(200, 100)
+        many = InterleavedCode(200, 10)
+        t_few = np.mean([interleaved_packets_until(few, BernoulliLoss(0.5),
+                                                   rng) for _ in range(15)])
+        t_many = np.mean([interleaved_packets_until(many, BernoulliLoss(0.5),
+                                                    rng) for _ in range(15)])
+        assert t_many > t_few  # coupon-collector penalty
+
+
+class TestPoolsAndScaling:
+    def test_fountain_pool(self):
+        code = tornado_a(200, seed=4)
+        tpool = ThresholdPool.for_code(code, trials=10, rng=5)
+        pool = build_fountain_pool(tpool, code.n, BernoulliLoss(0.1),
+                                   pool_size=20, rng=6)
+        assert pool.totals.size == 20
+        assert 0 < pool.average_efficiency() <= 1
+
+    def test_scaling_monotone_worst_case(self):
+        code = InterleavedCode(200, 20)
+        pool = build_interleaved_pool(code, BernoulliLoss(0.5),
+                                      pool_size=40, rng=7)
+        results = scaling_experiment(pool, [1, 10, 100], experiments=30,
+                                     rng=8)
+        worsts = [r.worst for r in results]
+        assert worsts[0] >= worsts[1] >= worsts[2]
+
+    def test_scaling_validation(self):
+        code = InterleavedCode(100, 20)
+        pool = build_interleaved_pool(code, BernoulliLoss(0.1),
+                                      pool_size=5, rng=9)
+        with pytest.raises(ParameterError):
+            scaling_experiment(pool, [0], experiments=1)
+
+
+class TestTraceSim:
+    def test_fountain_on_traces(self):
+        traces = synthesize_mbone_traces(10, 5000, rng=10)
+        code = tornado_a(150, seed=11)
+        tpool = ThresholdPool.for_code(code, trials=8, rng=12)
+        result = trace_fountain_efficiency(tpool, code.n, traces, rng=13)
+        assert result.completed_receivers > 0
+        assert 0 < result.average_efficiency <= 1
+
+
+class TestSpeedup:
+    def test_timing_model_quadratic(self):
+        model = TimingModel.fit(block_sizes=(8, 16), payload=64, repeats=1)
+        assert model.coeff > 0
+        assert model.predict(32) == pytest.approx(model.coeff * 32 * 32)
+        assert model.interleaved_decode_time(100, 5) == pytest.approx(
+            5 * model.predict(20))
+
+    def test_more_blocks_never_passes_if_fewer_fails(self):
+        """max_blocks search returns a feasible block count."""
+        bound = 0.5  # generous bound so the search definitely moves
+        blocks = max_blocks_within_overhead(100, 0.1, bound, trials=15,
+                                            rng=14)
+        assert blocks >= 1
+
+    def test_tighter_bound_fewer_blocks(self):
+        loose = max_blocks_within_overhead(200, 0.5, 0.5, trials=15, rng=15)
+        tight = max_blocks_within_overhead(200, 0.5, 0.10, trials=15, rng=15)
+        assert tight <= loose
+
+    def test_entry_composition(self):
+        model = TimingModel(coeff=1e-6)
+        entry = speedup_table_entry(100, 0.1, 0.5, model,
+                                    tornado_decode_seconds=1e-3,
+                                    trials=10, rng=16)
+        assert entry.num_blocks >= 1
+        assert entry.speedup == pytest.approx(
+            entry.interleaved_decode_seconds / 1e-3)

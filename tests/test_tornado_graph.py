@@ -1,0 +1,158 @@
+"""Tornado cascade construction: degree quotas, layer plans, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.tornado.degree import (
+    DegreeDistribution,
+    heavy_tail_distribution,
+    regular_distribution,
+    two_point_distribution,
+)
+from repro.codes.tornado.graph import (
+    _configuration_model,
+    _quota_degrees,
+    build_cascade,
+    plan_layer_sizes,
+)
+from repro.errors import ParameterError
+from repro.utils.rng import ensure_rng
+
+
+class TestDegreeDistributions:
+    def test_heavy_tail_normalised(self):
+        dist = heavy_tail_distribution(10)
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+        assert dist.degrees[0] == 2
+        assert dist.degrees[-1] == 11
+
+    def test_heavy_tail_average_close_to_harmonic(self):
+        # avg = (D+1)/D * H(D)
+        dist = heavy_tail_distribution(20)
+        expected = (21 / 20) * sum(1 / j for j in range(1, 21))
+        assert dist.average_degree == pytest.approx(expected, rel=1e-9)
+
+    def test_regular(self):
+        dist = regular_distribution(3)
+        assert dist.average_degree == 3
+        assert set(dist.sample(50, 0).tolist()) == {3}
+
+    def test_two_point_edge_fraction(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        degrees = np.array(dist.degrees, dtype=float)
+        probs = np.array(dist.probabilities)
+        edge_fractions = degrees * probs / (degrees * probs).sum()
+        assert edge_fractions[1] == pytest.approx(0.30)
+
+    def test_truncation(self):
+        dist = heavy_tail_distribution(30).truncated(5)
+        assert dist.max_degree <= 5
+        assert sum(dist.probabilities) == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution((2, 3), (0.5, 0.4))  # doesn't sum to 1
+        with pytest.raises(ParameterError):
+            two_point_distribution(3, 3, 0.5)
+        with pytest.raises(ParameterError):
+            regular_distribution(0)
+
+
+class TestQuotaDegrees:
+    def test_exact_counts(self):
+        dist = two_point_distribution(3, 20, 0.30)
+        out = _quota_degrees(dist, 1000, ensure_rng(0))
+        assert out.size == 1000
+        counts = {d: int((out == d).sum()) for d in dist.degrees}
+        for d, p in zip(dist.degrees, dist.probabilities):
+            assert abs(counts[d] - p * 1000) <= 1
+
+    def test_total_preserved_any_size(self):
+        dist = heavy_tail_distribution(8)
+        for size in (1, 7, 99):
+            assert _quota_degrees(dist, size, ensure_rng(1)).size == size
+
+
+class TestConfigurationModel:
+    def test_edges_within_bounds_and_deduped(self):
+        g = _configuration_model(200, 100, two_point_distribution(3, 20, 0.3),
+                                 ensure_rng(2))
+        assert g.edge_left.min() >= 0 and g.edge_left.max() < 200
+        assert g.edge_right.min() >= 0 and g.edge_right.max() < 100
+        keys = g.edge_right * 200 + g.edge_left
+        assert np.unique(keys).size == keys.size
+
+    def test_every_right_node_covered(self):
+        g = _configuration_model(200, 100, regular_distribution(3),
+                                 ensure_rng(3))
+        assert np.all(g.right_degrees() >= 1)
+        assert g.right_indptr[-1] == g.edge_count
+
+    def test_csr_sorted_by_right(self):
+        g = _configuration_model(64, 32, regular_distribution(3),
+                                 ensure_rng(4))
+        assert np.all(np.diff(g.edge_right) >= 0)
+
+
+class TestLayerPlan:
+    def test_stretch_two_exact(self):
+        for k in (100, 500, 1000, 1777, 8264):
+            sizes, cap = plan_layer_sizes(k, 2.0, 0.5, 128)
+            assert sum(sizes) + cap == 2 * k
+            assert sizes[0] == k
+
+    def test_small_k_degenerates_to_cap_only(self):
+        sizes, cap = plan_layer_sizes(50, 2.0, 0.5, 128)
+        assert sizes == [50]
+        assert cap == 50
+
+    def test_halving(self):
+        sizes, _ = plan_layer_sizes(1024, 2.0, 0.5, 128)
+        assert sizes == [1024, 512, 256, 128]
+
+    def test_cap_not_degenerate(self):
+        for k in range(129, 400, 17):
+            sizes, cap = plan_layer_sizes(k, 2.0, 0.5, 128)
+            assert cap >= max(2, sizes[-1] // 2)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            plan_layer_sizes(0, 2.0, 0.5, 128)
+        with pytest.raises(ParameterError):
+            plan_layer_sizes(10, 1.0, 0.5, 128)
+        with pytest.raises(ParameterError):
+            plan_layer_sizes(10, 2.0, 1.5, 128)
+
+
+class TestCascade:
+    def test_deterministic_from_seed(self):
+        dist = two_point_distribution(3, 20, 0.3)
+        a = build_cascade(300, dist, rng=np.random.default_rng(7))
+        b = build_cascade(300, dist, rng=np.random.default_rng(7))
+        assert a.layer_sizes == b.layer_sizes
+        for ga, gb in zip(a.graphs, b.graphs):
+            assert np.array_equal(ga.edge_left, gb.edge_left)
+            assert np.array_equal(ga.edge_right, gb.edge_right)
+
+    def test_node_count(self):
+        st_ = build_cascade(500, two_point_distribution(3, 20, 0.3), rng=0)
+        assert st_.n == 1000
+        assert st_.cap_offset + st_.cap_size == st_.n
+
+    def test_cap_members(self):
+        st_ = build_cascade(500, two_point_distribution(3, 20, 0.3), rng=0)
+        members = st_.cap_member_indices()
+        assert members.size == st_.last_layer_size + st_.cap_size
+        assert members.max() == st_.n - 1
+
+
+@given(k=st.integers(min_value=1, max_value=2000),
+       stretch=st.sampled_from([1.5, 2.0, 3.0]))
+@settings(max_examples=40, deadline=None)
+def test_plan_budget_property(k, stretch):
+    sizes, cap = plan_layer_sizes(k, stretch, 0.5, 128)
+    assert sum(sizes) + cap == int(round(stretch * k))
+    assert all(s > 0 for s in sizes)
+    assert cap >= 1
