@@ -1,0 +1,22 @@
+# Developer entry points. Everything runs with src/ on PYTHONPATH; no
+# install step is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke docs-check all
+
+all: test docs-check
+
+# Tier-1: the full test suite (the bar every change must clear).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# One quick pass over the benchmark suite — catches rot in the
+# table/figure harnesses without paying for full measurement runs.
+bench-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Fails if any ```python block in the docs does not run as written.
+docs-check:
+	$(PYTHON) tools/check_docs.py README.md

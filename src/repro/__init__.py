@@ -23,16 +23,32 @@ Quickstart::
     recovered = code.decode(received)
     assert np.array_equal(recovered, source)
 
-See README.md for the architecture tour and DESIGN.md for the experiment
-index.
+Rateless quickstart (LT codes — the true fountain, no ``n``)::
+
+    from repro import LTCode
+
+    code = LTCode(k=64, seed=7)
+    encoder = code.encoder(source)
+    decoder = code.new_decoder(payload_size=1024)
+    droplet_id = 0
+    while not decoder.is_complete:          # drink from the fountain
+        decoder.add_packet(droplet_id, encoder.droplet_payload(droplet_id))
+        droplet_id += 1
+    assert np.array_equal(decoder.source_data(), source)
+
+See README.md for the project overview and docs/ARCHITECTURE.md for the
+layer-by-layer architecture tour.
 """
 
 from repro.codes import (
     ErasureCode,
     InterleavedCode,
+    LTCode,
     ReedSolomonCode,
     TornadoCode,
     cauchy_code,
+    ideal_soliton,
+    robust_soliton,
     tornado_a,
     tornado_b,
     vandermonde_code,
@@ -47,10 +63,13 @@ __all__ = [
     "InterleavedCode",
     "ReedSolomonCode",
     "TornadoCode",
+    "LTCode",
     "cauchy_code",
     "vandermonde_code",
     "tornado_a",
     "tornado_b",
+    "ideal_soliton",
+    "robust_soliton",
     "bytes_to_packets",
     "packets_to_bytes",
     "DecodeFailure",

@@ -6,16 +6,25 @@ The downstream-adoption surface of the library::
     # ... ship any sufficiently large subset of shards/*.pkt ...
     python -m repro decode shards/ recovered.iso
 
+    # rateless (LT): every shard is a fresh droplet, mint as many as
+    # you like -- there is no n
+    python -m repro lt encode big.iso shards/ --overhead 0.3
+    python -m repro lt decode shards/ recovered.iso
+    python -m repro lt sim --k 1000 --trials 20   # reception overhead
+
 ``encode`` writes one file per encoding packet (12-byte header + payload,
 the paper's wire format) plus a tiny manifest; ``decode`` reads whatever
 packet files survived and reconstructs the original, refusing cleanly
-when too few are present.
+when too few are present.  ``decode`` dispatches on the manifest's
+``code`` field, so ``repro decode`` also reconstructs LT shard
+directories (``repro lt decode`` is the self-documenting alias).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import sys
 from typing import List, Optional
@@ -24,6 +33,7 @@ import numpy as np
 
 from repro import __version__
 from repro.codes.base import bytes_to_packets, packets_to_bytes
+from repro.codes.lt import LTCode, robust_soliton, robust_soliton_spike
 from repro.codes.tornado.presets import TORNADO_PRESETS
 from repro.errors import DecodeFailure, ReproError
 from repro.fountain.packets import EncodingPacket, PacketHeader
@@ -39,19 +49,40 @@ def _build_code(preset: str, k: int, seed: int):
     return factory(k, seed=seed)
 
 
-def cmd_encode(args: argparse.Namespace) -> int:
-    data = pathlib.Path(args.input).read_bytes()
+def _build_lt_code(k: int, seed: int, c: float = 0.03,
+                   delta: float = 0.1) -> LTCode:
+    return LTCode(int(k), degree_dist=robust_soliton(int(k), c=c, delta=delta),
+                  seed=int(seed))
+
+
+def _write_shards(args: argparse.Namespace, payloads, count: int,
+                  manifest: dict, decode_hint: int) -> None:
+    """Write ``count`` packet shards plus the manifest; print the summary.
+
+    ``payloads`` maps an encoding index to its payload row; the shard for
+    index ``i`` is the paper's wire format (12-byte header + payload).
+    """
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
+    for index in range(count):
+        header = PacketHeader(index=index, serial=index, group=0)
+        packet = EncodingPacket(header=header, payload=payloads(index))
+        (out_dir / f"{index:06d}.pkt").write_bytes(packet.to_bytes())
+    (out_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    print(f"wrote {count} packets ({args.packet_size} B payload) "
+          f"and {MANIFEST_NAME} to {out_dir}/")
+    print(f"any ~{decode_hint}+ of them reconstruct "
+          f"{manifest['file_name']} ({manifest['file_size']} bytes)")
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    data = pathlib.Path(args.input).read_bytes()
     source = bytes_to_packets(data, args.packet_size)
     code = _build_code(args.preset, source.shape[0], args.seed)
     encoding = code.encode(source)
-    for index in range(code.n):
-        header = PacketHeader(index=index, serial=index, group=0)
-        packet = EncodingPacket(header=header, payload=encoding[index])
-        (out_dir / f"{index:06d}.pkt").write_bytes(packet.to_bytes())
     manifest = {
         "version": __version__,
+        "code": "tornado",
         "preset": args.preset,
         "seed": args.seed,
         "k": int(code.k),
@@ -60,11 +91,8 @@ def cmd_encode(args: argparse.Namespace) -> int:
         "file_size": len(data),
         "file_name": pathlib.Path(args.input).name,
     }
-    (out_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
-    print(f"wrote {code.n} packets ({args.packet_size} B payload) "
-          f"and {MANIFEST_NAME} to {out_dir}/")
-    print(f"any ~{int(1.05 * code.k)}+ of them reconstruct "
-          f"{manifest['file_name']} ({len(data)} bytes)")
+    _write_shards(args, lambda index: encoding[index], code.n, manifest,
+                  decode_hint=int(1.05 * code.k))
     return 0
 
 
@@ -75,7 +103,13 @@ def cmd_decode(args: argparse.Namespace) -> int:
         print(f"error: no {MANIFEST_NAME} in {in_dir}", file=sys.stderr)
         return 2
     manifest = json.loads(manifest_path.read_text())
-    code = _build_code(manifest["preset"], manifest["k"], manifest["seed"])
+    if manifest.get("code", "tornado") == "lt":
+        code = _build_lt_code(manifest["k"], manifest["seed"],
+                              c=manifest.get("c", 0.03),
+                              delta=manifest.get("delta", 0.1))
+    else:
+        code = _build_code(manifest["preset"], manifest["k"],
+                           manifest["seed"])
     decoder = code.new_decoder(payload_size=manifest["packet_size"])
     used = 0
     for path in sorted(in_dir.glob("*.pkt")):
@@ -108,6 +142,68 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lt_encode(args: argparse.Namespace) -> int:
+    data = pathlib.Path(args.input).read_bytes()
+    source = bytes_to_packets(data, args.packet_size)
+    code = _build_lt_code(source.shape[0], args.seed,
+                          c=args.c, delta=args.delta)
+    count = (args.droplets if args.droplets is not None
+             else int(math.ceil((1 + args.overhead) * code.k)))
+    if count < code.k:
+        raise ReproError(
+            f"{count} droplets cannot cover k={code.k} source packets; "
+            "raise --droplets/--overhead")
+    encoder = code.encoder(source)
+    manifest = {
+        "version": __version__,
+        "code": "lt",
+        "seed": args.seed,
+        "c": args.c,
+        "delta": args.delta,
+        "k": int(code.k),
+        "packet_size": args.packet_size,
+        "file_size": len(data),
+        "file_name": pathlib.Path(args.input).name,
+    }
+    _write_shards(args, encoder.droplet_payload, count, manifest,
+                  decode_hint=int(1.1 * code.k))
+    print("mint more droplets anytime by raising --droplets — "
+          "the fountain has no n")
+    return 0
+
+
+def cmd_lt_sim(args: argparse.Namespace) -> int:
+    code = _build_lt_code(args.k, args.seed, c=args.c, delta=args.delta)
+    if args.pure_peeling:
+        code.inactivation_limit = 0
+    rng = np.random.default_rng(args.seed)
+    needed = np.empty(args.trials, dtype=np.int64)
+    for trial in range(args.trials):
+        # A random droplet subset, as a receiver on a lossy channel (or
+        # joining mid-stream) would collect it.
+        ids = rng.permutation(8 * code.k)[:4 * code.k]
+        needed[trial] = code.packets_to_decode(ids)
+    overheads = needed / code.k - 1.0
+    print(f"lt k={code.k} (c={args.c}, delta={args.delta}, "
+          f"{'pure peeling' if args.pure_peeling else 'inactivation'}): "
+          f"{args.trials} trials")
+    print(f"  droplets to decode: mean {needed.mean():.1f}, "
+          f"max {needed.max()}")
+    print(f"  reception overhead: mean {overheads.mean():.4f}, "
+          f"max {overheads.max():.4f}, std {overheads.std():.4f}")
+    return 0
+
+
+def cmd_lt_info(args: argparse.Namespace) -> int:
+    code = _build_lt_code(args.k, args.seed, c=args.c, delta=args.delta)
+    spike = robust_soliton_spike(args.k, c=args.c, delta=args.delta)
+    print(f"lt k={code.k}: rateless (no n), "
+          f"avg droplet degree={code.average_degree:.2f}, "
+          f"spike degree={spike}, "
+          f"pmf support={len(code.degree_dist.degrees)} degrees")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -134,6 +230,49 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--k", type=int, required=True)
     info.add_argument("--seed", type=int, default=2024)
     info.set_defaults(func=cmd_info)
+
+    lt = sub.add_parser(
+        "lt", help="rateless (LT) encode/decode/simulate — a true fountain")
+    lt_sub = lt.add_subparsers(dest="lt_command", required=True)
+
+    def _lt_soliton_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument("--c", type=float, default=0.03,
+                       help="robust soliton ripple constant")
+        p.add_argument("--delta", type=float, default=0.1,
+                       help="robust soliton failure target")
+
+    lt_enc = lt_sub.add_parser("encode",
+                               help="mint droplet shards from a file")
+    lt_enc.add_argument("input", help="file to encode")
+    lt_enc.add_argument("output", help="directory for droplet shards")
+    lt_enc.add_argument("--packet-size", type=int, default=1024)
+    lt_enc.add_argument("--overhead", type=float, default=0.30,
+                        help="mint (1+overhead)*k droplets")
+    lt_enc.add_argument("--droplets", type=int, default=None,
+                        help="explicit droplet count (overrides --overhead)")
+    _lt_soliton_flags(lt_enc)
+    lt_enc.set_defaults(func=cmd_lt_encode)
+
+    lt_dec = lt_sub.add_parser("decode",
+                               help="reconstruct a file from droplet shards")
+    lt_dec.add_argument("input", help="directory holding .pkt shards")
+    lt_dec.add_argument("output", help="path for the reconstructed file")
+    lt_dec.set_defaults(func=cmd_decode)
+
+    lt_sim = lt_sub.add_parser(
+        "sim", help="simulate reception overhead (no payloads)")
+    lt_sim.add_argument("--k", type=int, required=True)
+    lt_sim.add_argument("--trials", type=int, default=20)
+    lt_sim.add_argument("--pure-peeling", action="store_true",
+                        help="disable the GF(2) inactivation fallback")
+    _lt_soliton_flags(lt_sim)
+    lt_sim.set_defaults(func=cmd_lt_sim)
+
+    lt_info = lt_sub.add_parser("info", help="describe a droplet stream")
+    lt_info.add_argument("--k", type=int, required=True)
+    _lt_soliton_flags(lt_info)
+    lt_info.set_defaults(func=cmd_lt_info)
     return parser
 
 

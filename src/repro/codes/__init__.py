@@ -1,23 +1,41 @@
-"""Erasure codes: the paper's Tornado codes plus every baseline it measures.
+"""Erasure codes: the paper's Tornado codes, every baseline it measures,
+and the LT rateless code that realises the fountain it motivates.
 
+Module index
+------------
+
+* :mod:`repro.codes.base` — the :class:`ErasureCode` interface shared by
+  all fixed-rate codes, plus byte/packet-block plumbing.
+* :mod:`repro.codes.degree` — :class:`~repro.codes.degree.DegreeDistribution`,
+  the pmf carrier both sparse-graph families sample from.
+* :mod:`repro.codes.peeling` — the shared XOR-peeling engine
+  (substitution-rule waves + GF(2) inactivation) that decodes both
+  Tornado cascades and LT droplet streams.
 * :mod:`repro.codes.reed_solomon` — systematic Reed-Solomon erasure codes
   in the two constructions benchmarked in Tables 2/3 (Vandermonde [16] and
   Cauchy [2]).
 * :mod:`repro.codes.tornado` — Tornado codes (Section 5): cascades of
   sparse random bipartite graphs decoded by XOR peeling, with the
   Tornado A / Tornado B presets.
+* :mod:`repro.codes.lt` — LT rateless codes: soliton-distributed droplets
+  generated on the fly, forever — no stretch-factor ceiling.  Unlike the
+  fixed-rate codes above, an :class:`~repro.codes.lt.LTCode` has no ``n``;
+  packet indices are unbounded droplet ids.
 * :mod:`repro.codes.interleaved` — the interleaved block-code baseline of
   Section 6 (Nonnenmacher/Biersack/Towsley-style).
 """
 
 from repro.codes.base import ErasureCode, ReceivedPacket
+from repro.codes.degree import DegreeDistribution
 from repro.codes.reed_solomon import ReedSolomonCode, vandermonde_code, cauchy_code
 from repro.codes.interleaved import InterleavedCode
 from repro.codes.tornado import TornadoCode, tornado_a, tornado_b
+from repro.codes.lt import LTCode, ideal_soliton, robust_soliton
 
 __all__ = [
     "ErasureCode",
     "ReceivedPacket",
+    "DegreeDistribution",
     "ReedSolomonCode",
     "vandermonde_code",
     "cauchy_code",
@@ -25,4 +43,7 @@ __all__ = [
     "TornadoCode",
     "tornado_a",
     "tornado_b",
+    "LTCode",
+    "ideal_soliton",
+    "robust_soliton",
 ]

@@ -1,0 +1,170 @@
+"""The :class:`LTCode` public API — a true rateless digital fountain.
+
+The paper's carousel *approximates* a digital fountain by cycling a
+fixed ``n = stretch * k`` encoding; an LT code removes the ceiling: the
+encoder can emit droplet 0, 1, 2, ... forever, each one an XOR of a
+soliton-distributed random subset of the source packets, and any
+sufficiently large subset of droplets — from anywhere in the stream, in
+any order, from any number of concurrent servers — reconstructs the
+source.  There is no ``n``, no stretch factor, and no wrap-around
+duplicates: ``stretch_factor`` is infinite and distinctness efficiency
+is always 1.
+
+The deliberate mirror of :class:`~repro.codes.tornado.code.TornadoCode`
+(``new_decoder`` / ``decode`` / ``is_decodable`` / ``packets_to_decode``)
+lets every fountain, protocol and simulation layer drive both code
+families unchanged; indices simply mean *droplet ids* instead of
+positions in a finite encoding.
+
+>>> code = LTCode(100, seed=7)
+>>> decoder = code.new_decoder()
+>>> decoder.add_packets(range(115))
+115
+>>> decoder.is_complete
+True
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.codes.degree import DegreeDistribution
+from repro.codes.lt.decoder import LTDecoder
+from repro.codes.lt.degree import robust_soliton
+from repro.codes.lt.encoder import DropletSpec, LTEncoder
+from repro.errors import DecodeFailure, ParameterError
+
+__all__ = ["LTCode"]
+
+
+class LTCode:
+    """An LT rateless code with a fixed, seed-reproducible droplet stream.
+
+    Parameters
+    ----------
+    k:
+        Number of source packets.
+    degree_dist:
+        Droplet degree pmf; defaults to :func:`robust_soliton` with the
+        module's tuned ``(c, delta)``.
+    seed:
+        Shared sender/receiver seed; the same ``(k, parameters, seed)``
+        always yields the identical droplet stream.
+    inactivation_limit:
+        Stall threshold for the decoder's GF(2) fallback.  ``None``
+        (default) allows it at any residual size — effectively
+        maximum-likelihood decoding, the low-overhead operating point;
+        ``0`` is pure peeling, Luby's original decoder.
+    name:
+        Optional label used in reports.
+    """
+
+    def __init__(self, k: int,
+                 degree_dist: Optional[DegreeDistribution] = None,
+                 seed: int = 0,
+                 inactivation_limit: Optional[int] = None,
+                 name: str = "lt"):
+        if k <= 0:
+            raise ParameterError("k must be positive")
+        self.k = int(k)
+        self.degree_dist = (degree_dist if degree_dist is not None
+                            else robust_soliton(self.k))
+        self.seed = int(seed)
+        self.inactivation_limit = inactivation_limit
+        self.name = name
+        self.spec = DropletSpec(self.k, self.degree_dist, self.seed)
+
+    # -- rateless identity -----------------------------------------------------
+
+    #: A rateless code has no fixed encoding length.
+    n: Optional[int] = None
+
+    @property
+    def stretch_factor(self) -> float:
+        """Unbounded: the fountain never runs dry."""
+        return math.inf
+
+    @property
+    def average_degree(self) -> float:
+        """Expected XORs per droplet (encode and decode cost per packet)."""
+        return self.spec.average_degree
+
+    # -- encoding --------------------------------------------------------------
+
+    def encoder(self, source: np.ndarray) -> LTEncoder:
+        """Bind this code to a ``(k, P)`` source block for droplet output."""
+        return LTEncoder(self.spec, source)
+
+    def encode(self, source: np.ndarray, count: Optional[int] = None,
+               start: int = 0) -> np.ndarray:
+        """Materialise droplets ``start .. start+count`` as a block.
+
+        ``count`` defaults to ``ceil(1.15 * k)`` — enough for the
+        decoder to succeed with high probability.  (A rateless code has
+        no canonical encoding block; this exists for API symmetry with
+        the fixed-rate codes and for tests.)
+        """
+        if count is None:
+            count = int(math.ceil(1.15 * self.k))
+        return self.encoder(source).payload_block(
+            list(range(start, start + count)))
+
+    # -- decoding --------------------------------------------------------------
+
+    def new_decoder(self, payload_size: Optional[int] = None) -> LTDecoder:
+        """A fresh incremental decoder sharing this code's droplet spec."""
+        return LTDecoder(self.spec, payload_size=payload_size,
+                         inactivation_limit=self.inactivation_limit)
+
+    def decode(self, received: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Batch decode from a mapping of droplet id to payload."""
+        if not received:
+            raise DecodeFailure("no droplets received", missing=self.k)
+        first_payload = np.asarray(next(iter(received.values())))
+        decoder = self.new_decoder(payload_size=first_payload.shape[0])
+        for droplet_id, payload in received.items():
+            decoder.add_packet(int(droplet_id),
+                               np.asarray(payload, dtype=np.uint8))
+        return decoder.source_data()
+
+    def is_decodable(self, indices: Iterable[int]) -> bool:
+        """Structural decodability of a droplet id set (no payloads)."""
+        decoder = self.new_decoder()
+        decoder.add_packets([int(i) for i in indices])
+        return decoder.is_complete
+
+    def packets_to_decode(self, arrival_order: Sequence[int]) -> int:
+        """Number of leading droplets of ``arrival_order`` needed to decode.
+
+        Feeds the incremental decoder in coarse chunks to find the
+        completing chunk, then replays the prefix droplet by droplet —
+        decodability is monotone in the received set, so the replay
+        gives the exact count at a fraction of single-stepping cost.
+        """
+        order = [int(i) for i in arrival_order]
+        chunk = max(16, self.k // 64)
+        decoder = self.new_decoder()
+        pos = 0
+        while pos < len(order) and not decoder.is_complete:
+            decoder.add_packets(order[pos:pos + chunk])
+            pos += chunk
+        if not decoder.is_complete:
+            raise DecodeFailure(
+                "arrival order never becomes decodable",
+                missing=self.k - decoder.source_known_count)
+        start = max(0, pos - chunk)
+        decoder = self.new_decoder()
+        decoder.add_packets(order[:start])
+        count = start
+        while not decoder.is_complete:
+            decoder.add_packet(order[count])
+            count += 1
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LTCode(name={self.name!r}, k={self.k}, "
+                f"avg_degree={self.average_degree:.2f}, "
+                f"seed={self.seed})")

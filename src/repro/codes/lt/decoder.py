@@ -1,0 +1,134 @@
+"""LT peeling decoder — the shared engine in its dynamic configuration.
+
+Where the Tornado decoder installs its whole equation system up front
+and feeds observed node values, the LT decoder starts empty: every
+received droplet *becomes* one XOR equation over its neighbour set
+(regenerated locally from the shared :class:`~repro.codes.lt.encoder.DropletSpec`)
+with the droplet payload as right-hand side.  Both run on the same
+:class:`~repro.codes.peeling.PeelingEngine` — substitution-rule waves,
+plus the optional GF(2) inactivation fallback, which for LT doubles as
+maximum-likelihood decoding of the received generator matrix and is what
+pushes the reception overhead at small ``k`` well below what pure
+peeling achieves.
+
+The decoder mirrors the Tornado :class:`~repro.codes.tornado.decoder.PeelingDecoder`
+feeding interface (``add_packet(index, payload)``, ``is_complete``,
+``source_data()``) so the fountain client and protocol layers drive both
+families through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+import numpy as np
+
+from repro.codes.lt.encoder import DropletSpec
+from repro.codes.peeling import PeelingEngine
+from repro.errors import ParameterError
+
+
+class LTDecoder(PeelingEngine):
+    """Incremental droplet decoder over a :class:`DropletSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The shared droplet agreement (k, degree pmf, seed).
+    payload_size:
+        Droplet payload length in bytes; ``None`` selects structural
+        mode (the decoder then only answers *when* decoding completes).
+    inactivation_limit:
+        When positive, peeling stalls fall back to bit-packed GF(2)
+        elimination over the residual unknowns.  For a rateless code
+        this is the difference between Luby's asymptotic overhead and
+        near-optimal finite-length behaviour; disable (0) to measure
+        pure peeling.
+    """
+
+    def __init__(self, spec: DropletSpec,
+                 payload_size: Optional[int] = None,
+                 inactivation_limit: Optional[int] = None):
+        self.spec = spec
+        if inactivation_limit is None:
+            inactivation_limit = spec.k
+        super().__init__(spec.k,
+                         payload_size=payload_size,
+                         inactivation_limit=inactivation_limit)
+        self._droplet_ids: Set[int] = set()
+        self._packets_added = 0
+        self._duplicates = 0
+        self._redundant = 0
+
+    # -- public state ----------------------------------------------------------
+
+    @property
+    def packets_added(self) -> int:
+        """Distinct droplets fed in so far."""
+        return self._packets_added
+
+    @property
+    def duplicates_seen(self) -> int:
+        """Droplets fed in more than once (same droplet id)."""
+        return self._duplicates
+
+    @property
+    def redundant_droplets(self) -> int:
+        """Distinct droplets that carried no new information on arrival."""
+        return self._redundant
+
+    # -- feeding droplets ------------------------------------------------------
+
+    def add_packet(self, index: int,
+                   payload: Optional[np.ndarray] = None) -> bool:
+        """Feed droplet ``index``; returns True when it was a new droplet.
+
+        ``index`` is the droplet id from the packet header — any
+        non-negative integer, there is no ``n`` to bound it.
+        """
+        if index < 0:
+            raise ParameterError("droplet id must be >= 0")
+        if index in self._droplet_ids:
+            self._duplicates += 1
+            return False
+        if self.values is not None and payload is None:
+            raise ParameterError("payload decoder requires droplet payloads")
+        self._droplet_ids.add(int(index))
+        self._packets_added += 1
+        contributed = self.add_equation(self.spec.neighbours(index), payload)
+        if not contributed:
+            self._redundant += 1
+        self.maybe_inactivate()
+        return True
+
+    def add_packets(self, indices: Sequence[int],
+                    payloads: Optional[np.ndarray] = None) -> int:
+        """Feed a batch of droplets; returns the number of new droplet ids.
+
+        The inactivation fallback is considered once, after the whole
+        batch — feeding in chunks is the fast path for simulations.
+        """
+        fresh = 0
+        for row, index in enumerate(indices):
+            index = int(index)
+            if index < 0:
+                raise ParameterError("droplet id must be >= 0")
+            if index in self._droplet_ids:
+                self._duplicates += 1
+                continue
+            if self.values is not None and payloads is None:
+                raise ParameterError(
+                    "payload decoder requires droplet payloads")
+            self._droplet_ids.add(index)
+            self._packets_added += 1
+            fresh += 1
+            if self.is_complete:
+                # Late droplets are still new (and counted), but carry
+                # no information worth building an equation from.
+                self._redundant += 1
+                continue
+            payload = None if payloads is None else payloads[row]
+            if not self.add_equation(self.spec.neighbours(index), payload):
+                self._redundant += 1
+        self.maybe_inactivate()
+        return fresh

@@ -1,0 +1,144 @@
+"""LT droplet generation: seed-reproducible, unbounded, XOR-on-demand.
+
+The fountain property hinges on sender and receiver agreeing on what
+each droplet *is* without shipping its neighbour list: droplet ``i`` is
+defined entirely by the shared ``(k, degree distribution, seed)`` triple
+plus the droplet id ``i`` carried in the packet header.  Both sides
+derive the same per-droplet random stream with
+:func:`numpy.random.default_rng` seeded on ``[seed, stream, id]``, draw a
+degree from the soliton pmf, and pick that many distinct source packets.
+
+:class:`DropletSpec` is the shared agreement (the LT analogue of the
+Tornado :class:`~repro.codes.tornado.graph.CascadeStructure`);
+:class:`LTEncoder` binds a spec to an actual ``(k, P)`` source block and
+produces payloads by XORing the selected rows on demand — no encoding
+table, no stretch-factor ceiling, droplet ids may grow without bound
+(up to the uint32 header field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.codes.base import as_packet_block
+from repro.codes.degree import DegreeDistribution
+from repro.errors import ParameterError
+
+#: rng stream label separating droplet construction from any simulation
+#: streams derived from the same user seed.
+_DROPLET_STREAM = 0xD809
+
+__all__ = ["DropletSpec", "LTEncoder"]
+
+
+@dataclass(frozen=True)
+class DropletSpec:
+    """The sender/receiver agreement defining every droplet of a stream.
+
+    Attributes
+    ----------
+    k:
+        Number of source packets.
+    degree_dist:
+        Droplet degree pmf (typically a robust soliton).
+    seed:
+        Shared integer seed; the same ``(k, degree_dist, seed)`` triple
+        yields the identical droplet sequence on both ends.
+    """
+
+    k: int
+    degree_dist: DegreeDistribution
+    seed: int = 0
+    _degree_cdf: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ParameterError("k must be >= 1")
+        if self.degree_dist.max_degree > self.k:
+            raise ParameterError(
+                f"degree support exceeds k={self.k}; truncate the pmf")
+        cdf = np.cumsum(np.asarray(self.degree_dist.probabilities,
+                                   dtype=float))
+        cdf[-1] = 1.0
+        object.__setattr__(self, "_degree_cdf", cdf)
+
+    def droplet_rng(self, droplet_id: int) -> np.random.Generator:
+        """The deterministic random stream of one droplet."""
+        if droplet_id < 0:
+            raise ParameterError("droplet id must be >= 0")
+        return np.random.default_rng(
+            [int(self.seed), _DROPLET_STREAM, int(droplet_id)])
+
+    def degree(self, droplet_id: int) -> int:
+        """The degree of droplet ``droplet_id`` (first value of its stream)."""
+        return int(self.neighbours(droplet_id).size)
+
+    def neighbours(self, droplet_id: int) -> np.ndarray:
+        """Source packet indices XORed into droplet ``droplet_id``.
+
+        Distinct, sorted-free, reproducible: an inverse-cdf draw for the
+        degree followed by a without-replacement pick of that many source
+        indices, all on the droplet's private stream.
+        """
+        rng = self.droplet_rng(droplet_id)
+        slot = int(np.searchsorted(self._degree_cdf, rng.random(),
+                                   side="right"))
+        slot = min(slot, len(self.degree_dist.degrees) - 1)
+        degree = self.degree_dist.degrees[slot]
+        return rng.choice(self.k, size=degree, replace=False).astype(np.int64)
+
+    def neighbour_lists(self, droplet_ids: Iterable[int]):
+        """Neighbour arrays for many droplets (generator, in id order)."""
+        for droplet_id in droplet_ids:
+            yield self.neighbours(droplet_id)
+
+    @property
+    def average_degree(self) -> float:
+        """Expected XORs per droplet — the per-packet encode/decode cost."""
+        return self.degree_dist.average_degree
+
+
+class LTEncoder:
+    """Produces droplet payloads for one source block on demand.
+
+    Parameters
+    ----------
+    spec:
+        The shared :class:`DropletSpec`.
+    source:
+        The ``(k, P)`` source packet block.
+    """
+
+    def __init__(self, spec: DropletSpec, source: np.ndarray):
+        self.spec = spec
+        self.source = as_packet_block(source, spec.k, dtype=np.uint8)
+
+    @property
+    def k(self) -> int:
+        return self.spec.k
+
+    @property
+    def payload_size(self) -> int:
+        return int(self.source.shape[1])
+
+    def droplet_payload(self, droplet_id: int) -> np.ndarray:
+        """The payload of droplet ``droplet_id``: XOR of its neighbours."""
+        neighbours = self.spec.neighbours(droplet_id)
+        return np.bitwise_xor.reduce(self.source[neighbours], axis=0)
+
+    def payload_block(self, droplet_ids: Sequence[int]) -> np.ndarray:
+        """Payloads for many droplets as a ``(len(ids), P)`` block."""
+        out = np.empty((len(droplet_ids), self.payload_size), dtype=np.uint8)
+        for row, droplet_id in enumerate(droplet_ids):
+            out[row] = self.droplet_payload(int(droplet_id))
+        return out
+
+    def droplets(self, start: int = 0) -> Iterator[np.ndarray]:
+        """An endless stream of payloads from ``start`` — the fountain."""
+        droplet_id = start
+        while True:
+            yield self.droplet_payload(droplet_id)
+            droplet_id += 1

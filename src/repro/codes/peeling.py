@@ -1,0 +1,473 @@
+"""Shared XOR-peeling engine for sparse-graph erasure codes.
+
+Tornado cascades (:mod:`repro.codes.tornado`) and LT rateless codes
+(:mod:`repro.codes.lt`) decode the same way: a system of XOR *equations*
+over unknown packets is peeled by the substitution rule — whenever an
+equation has exactly one unknown participant, that participant equals
+the XOR of everything else in the equation.  This module holds the one
+engine both families run on; the per-family decoders only differ in how
+equations enter the system:
+
+* **Tornado** knows its whole equation system up front (every right node
+  of every cascade graph is one equation) and feeds *observed node
+  values* as packets arrive — :meth:`PeelingEngine.load_static_equations`
+  plus :meth:`PeelingEngine.observe_nodes`.
+* **LT** starts with no equations at all; every received droplet *is* an
+  equation (its payload XORed over its neighbour set) —
+  :meth:`PeelingEngine.add_equation`.
+
+Bookkeeping is the standard O(edges) scheme:
+
+* ``unknown_count[e]`` — unknown participants remaining in equation e;
+* ``xor_ids[e]``       — XOR of the *indices* of unknown participants, so
+  when the count hits one the missing index is read off directly;
+* ``acc[e]``           — XOR of the known participants' *payloads* (only
+  in payload mode), so the recovered value is read off directly.
+
+Propagation is wave-vectorised: all nodes that became known in a wave
+update their equations with ``np.add.at`` / ``np.bitwise_xor.at`` scatter
+operations, and the next wave is the set of newly solvable nodes.  Static
+equations use a prebuilt CSR incidence; dynamically added equations keep
+per-node adjacency lists, and a wave walks both.
+
+The engine can run in two modes:
+
+* **payload mode** — actual packet contents are XORed; ``values`` holds
+  the reconstructed block.
+* **structural mode** (``payload_size=None``) — only indices are tracked;
+  used by the large-scale simulations, where the question is *when*
+  decoding completes, not what the bytes are.
+
+When peeling stalls, *inactivation decoding* (the standard modern
+extension, cf. RaptorQ / RFC 6330) optionally solves the stalled
+equations directly by bit-packed Gaussian elimination over GF(2); see
+:meth:`PeelingEngine._maybe_inactivate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DecodeFailure, ParameterError
+
+
+class PeelingEngine:
+    """Incremental XOR-equation solver over ``num_nodes`` packet slots.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total packet slots (unknowns plus directly observable packets).
+    payload_size:
+        Packet payload length in bytes; ``None`` selects structural mode.
+    source_count:
+        How many leading nodes constitute the source block; decoding is
+        complete once all of them are known.  Defaults to ``num_nodes``.
+    inactivation_limit:
+        When positive, enables the GF(2) elimination fallback whenever
+        peeling stalls with at most this many unknowns remaining.  Zero
+        disables it (pure peeling).
+    """
+
+    def __init__(self, num_nodes: int,
+                 payload_size: Optional[int] = None,
+                 source_count: Optional[int] = None,
+                 inactivation_limit: int = 0):
+        if num_nodes <= 0:
+            raise ParameterError("num_nodes must be positive")
+        self.num_nodes = int(num_nodes)
+        self.source_count = (self.num_nodes if source_count is None
+                             else int(source_count))
+        if not 0 < self.source_count <= self.num_nodes:
+            raise ParameterError(
+                f"source_count {source_count} outside (0, {num_nodes}]")
+        self.payload_size = payload_size
+        self.inactivation_limit = int(inactivation_limit)
+        self.known = np.zeros(self.num_nodes, dtype=bool)
+        self._source_known = 0
+        self._num_equations = 0
+        self.unknown_count = np.zeros(0, dtype=np.int64)
+        self.xor_ids = np.zeros(0, dtype=np.int64)
+        self._inactivation_runs = 0
+        self._last_stall_signature: Optional[Tuple[int, int]] = None
+        # Static incidence (node -> equations), built once by
+        # load_static_equations; None until then.
+        self._node_indptr: Optional[np.ndarray] = None
+        self._node_eqs: Optional[np.ndarray] = None
+        self._raw_nodes: Optional[np.ndarray] = None
+        self._raw_eqs: Optional[np.ndarray] = None
+        self._static_eq_count = 0
+        self._eq_indptr: Optional[np.ndarray] = None
+        self._eq_nodes: Optional[np.ndarray] = None
+        # Dynamic incidence for equations added after construction.
+        self._dyn_node_eqs: Dict[int, List[int]] = {}
+        self._dyn_eq_nodes: Dict[int, np.ndarray] = {}
+        if payload_size is not None:
+            if payload_size <= 0:
+                raise ParameterError("payload_size must be positive")
+            self.values: Optional[np.ndarray] = np.zeros(
+                (self.num_nodes, payload_size), dtype=np.uint8)
+            self._acc: Optional[np.ndarray] = np.zeros(
+                (0, payload_size), dtype=np.uint8)
+        else:
+            self.values = None
+            self._acc = None
+
+    # -- equation entry points -------------------------------------------------
+
+    def load_static_equations(self, num_equations: int,
+                              nodes: np.ndarray, eqs: np.ndarray) -> None:
+        """Install the full equation system of a fixed-rate code.
+
+        ``nodes[i]`` participates in equation ``eqs[i]``; equation ids run
+        in ``[0, num_equations)``.  Must be called before any packet is
+        fed and at most once.
+        """
+        if self._num_equations or self._packets_seen():
+            raise ParameterError(
+                "static equations must be installed on a fresh engine")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        eqs = np.asarray(eqs, dtype=np.int64)
+        self._num_equations = int(num_equations)
+        self._static_eq_count = self._num_equations
+        # CSR: node -> equations it participates in.
+        order = np.argsort(nodes, kind="stable")
+        self._node_eqs = eqs[order]
+        counts = np.bincount(nodes, minlength=self.num_nodes)
+        self._node_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._node_indptr[1:])
+        # Raw incidence arrays, kept for the (lazy) eq -> nodes CSR that
+        # inactivation decoding needs.
+        self._raw_nodes = nodes
+        self._raw_eqs = eqs
+        self.unknown_count = np.bincount(
+            eqs, minlength=self._num_equations).astype(np.int64)
+        self.xor_ids = np.zeros(self._num_equations, dtype=np.int64)
+        np.bitwise_xor.at(self.xor_ids, eqs, nodes)
+        if self._acc is not None:
+            self._acc = np.zeros((self._num_equations, self.payload_size),
+                                 dtype=np.uint8)
+
+    def add_equation(self, participants: np.ndarray,
+                     rhs: Optional[np.ndarray] = None) -> bool:
+        """Feed one dynamic equation: XOR of ``participants`` equals ``rhs``.
+
+        The equation is reduced against already-known nodes on entry; a
+        fully reduced (redundant) equation is dropped.  Returns True when
+        the equation carried new information (it either solved a node or
+        joined the active system), False when it was redundant.
+
+        Callers feeding several equations should call
+        :meth:`maybe_inactivate` once afterwards.
+        """
+        participants = np.asarray(participants, dtype=np.int64)
+        if participants.size == 0:
+            return False
+        if np.any((participants < 0) | (participants >= self.num_nodes)):
+            raise ParameterError("equation participant outside node range")
+        known_mask = self.known[participants]
+        unknown = participants[~known_mask]
+        if self.values is not None:
+            if rhs is None:
+                raise ParameterError("payload engine requires equation rhs")
+            acc = np.asarray(rhs, dtype=np.uint8).copy()
+            solved = participants[known_mask]
+            if solved.size:
+                acc ^= np.bitwise_xor.reduce(self.values[solved], axis=0)
+        else:
+            acc = None
+        if unknown.size == 0:
+            return False
+        if unknown.size == 1:
+            node = int(unknown[0])
+            if self.values is not None:
+                self.values[node] = acc
+            frontier = np.asarray([node], dtype=np.int64)
+            self._mark_known(frontier)
+            self._propagate(frontier)
+            return True
+        eq = self._append_equation(unknown, acc)
+        for node in unknown.tolist():
+            self._dyn_node_eqs.setdefault(int(node), []).append(eq)
+        self._dyn_eq_nodes[eq] = unknown
+        return True
+
+    def _append_equation(self, unknown: np.ndarray,
+                         acc: Optional[np.ndarray]) -> int:
+        eq = self._num_equations
+        if eq >= self.unknown_count.shape[0]:
+            self._grow_equations()
+        self.unknown_count[eq] = unknown.size
+        self.xor_ids[eq] = int(np.bitwise_xor.reduce(unknown))
+        if self._acc is not None:
+            self._acc[eq] = acc
+        self._num_equations += 1
+        return eq
+
+    def _grow_equations(self) -> None:
+        new_cap = max(16, 2 * self.unknown_count.shape[0])
+        grown = np.zeros(new_cap, dtype=np.int64)
+        grown[:self._num_equations] = self.unknown_count[:self._num_equations]
+        self.unknown_count = grown
+        grown = np.zeros(new_cap, dtype=np.int64)
+        grown[:self._num_equations] = self.xor_ids[:self._num_equations]
+        self.xor_ids = grown
+        if self._acc is not None:
+            grown = np.zeros((new_cap, self.payload_size), dtype=np.uint8)
+            grown[:self._num_equations] = self._acc[:self._num_equations]
+            self._acc = grown
+
+    def observe_nodes(self, nodes: np.ndarray,
+                      payloads: Optional[np.ndarray] = None) -> None:
+        """Feed directly observed node values (fixed-rate code packets).
+
+        ``nodes`` must be fresh (not yet known) and duplicate-free; the
+        caller owns duplicate filtering and accounting.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            return
+        if self.values is not None:
+            if payloads is None:
+                raise ParameterError("payload engine requires packet payloads")
+            self.values[nodes] = payloads
+        self._mark_known(nodes)
+        self._propagate(nodes)
+
+    # -- public state ----------------------------------------------------------
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every source node is known."""
+        return self._source_known >= self.source_count
+
+    @property
+    def source_known_count(self) -> int:
+        return self._source_known
+
+    @property
+    def equation_count(self) -> int:
+        """Equations currently in the system (static + dynamic)."""
+        return self._num_equations
+
+    def source_data(self) -> np.ndarray:
+        """The reconstructed ``(source_count, P)`` block (payload mode)."""
+        if self.values is None:
+            raise ParameterError("structural engine holds no payloads")
+        if not self.is_complete:
+            raise DecodeFailure(
+                "source not fully recovered",
+                missing=self.source_count - self._source_known)
+        return self.values[:self.source_count].copy()
+
+    def missing_source_indices(self) -> np.ndarray:
+        """Source node indices not yet recovered."""
+        return np.nonzero(~self.known[:self.source_count])[0]
+
+    def _packets_seen(self) -> bool:
+        return bool(self._source_known) or bool(np.any(self.known))
+
+    # -- core propagation ------------------------------------------------------
+
+    def _mark_known(self, nodes: np.ndarray) -> None:
+        self.known[nodes] = True
+        self._source_known += int(np.count_nonzero(nodes < self.source_count))
+
+    def _gather_incidences(self, nodes: np.ndarray):
+        """All (equation, node) incidences of ``nodes`` as flat arrays."""
+        eq_parts: List[np.ndarray] = []
+        node_parts: List[np.ndarray] = []
+        if self._node_indptr is not None:
+            starts = self._node_indptr[nodes]
+            ends = self._node_indptr[nodes + 1]
+            counts = ends - starts
+            total = int(counts.sum())
+            if total:
+                # Flattened multi-slice gather.
+                cum = np.cumsum(counts) - counts
+                flat = np.repeat(starts - cum, counts) + np.arange(total)
+                eq_parts.append(self._node_eqs[flat])
+                node_parts.append(np.repeat(nodes, counts))
+        if self._dyn_node_eqs:
+            for node in nodes.tolist():
+                lst = self._dyn_node_eqs.get(int(node))
+                if lst:
+                    eq_parts.append(np.asarray(lst, dtype=np.int64))
+                    node_parts.append(
+                        np.full(len(lst), node, dtype=np.int64))
+        if not eq_parts:
+            return None, None
+        if len(eq_parts) == 1:
+            return eq_parts[0], node_parts[0]
+        return np.concatenate(eq_parts), np.concatenate(node_parts)
+
+    def _propagate(self, frontier: np.ndarray) -> None:
+        """Run peeling waves until quiescent, invoking the subclass hook."""
+        while True:
+            while frontier.size:
+                eqs, nodes_rep = self._gather_incidences(frontier)
+                if eqs is None:
+                    frontier = np.zeros(0, dtype=np.int64)
+                    break
+                np.subtract.at(self.unknown_count, eqs, 1)
+                np.bitwise_xor.at(self.xor_ids, eqs, nodes_rep)
+                if self._acc is not None:
+                    np.bitwise_xor.at(self._acc, eqs, self.values[nodes_rep])
+                touched = np.unique(eqs)
+                ready = touched[self.unknown_count[touched] == 1]
+                candidates = self.xor_ids[ready]
+                new_mask = ~self.known[candidates]
+                candidates = candidates[new_mask]
+                ready = ready[new_mask]
+                if candidates.size == 0:
+                    frontier = np.zeros(0, dtype=np.int64)
+                    break
+                uniq, first = np.unique(candidates, return_index=True)
+                if self.values is not None:
+                    self.values[uniq] = self._acc[ready[first]]
+                self._mark_known(uniq)
+                frontier = uniq
+            extra = self._on_quiescent()
+            if extra is None or extra.size == 0:
+                return
+            frontier = extra
+
+    def _on_quiescent(self) -> Optional[np.ndarray]:
+        """Hook: called when a wave dies out; return a fresh frontier.
+
+        Subclasses with an auxiliary (non-XOR) recovery mechanism — e.g.
+        the Tornado cap's Reed-Solomon system — override this to solve it
+        and return the newly recovered node indices, or ``None``.
+        """
+        return None
+
+    # -- inactivation decoding -------------------------------------------------
+
+    @property
+    def inactivation_runs(self) -> int:
+        """Number of Gaussian-elimination fallbacks executed so far."""
+        return self._inactivation_runs
+
+    def _elimination_nodes(self) -> np.ndarray:
+        """Nodes eligible as elimination columns (default: all unknown).
+
+        Subclasses restrict this to nodes that actually participate in
+        XOR equations (e.g. Tornado excludes its cap redundancy).
+        """
+        return np.nonzero(~self.known)[0]
+
+    def _ensure_eq_csr(self) -> None:
+        """Lazily build the static equation -> participant nodes CSR."""
+        if self._eq_indptr is not None or self._raw_eqs is None:
+            return
+        order = np.argsort(self._raw_eqs, kind="stable")
+        self._eq_nodes = self._raw_nodes[order]
+        counts = np.bincount(self._raw_eqs,
+                             minlength=self._static_eq_count)
+        self._eq_indptr = np.zeros(self._static_eq_count + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._eq_indptr[1:])
+
+    def _equation_participants(self, eq: int) -> np.ndarray:
+        """All original participants of equation ``eq`` (known or not)."""
+        if eq < self._static_eq_count:
+            lo, hi = self._eq_indptr[eq], self._eq_indptr[eq + 1]
+            return self._eq_nodes[lo:hi]
+        return self._dyn_eq_nodes[eq]
+
+    def maybe_inactivate(self) -> None:
+        """Run the GF(2) fallback when enabled, useful and not yet tried.
+
+        Gated so that repeated feeding stays cheap: the solver runs only
+        when the residual unknown count is within the limit and the
+        system has changed (fewer unknowns, or new equations) since the
+        last failed attempt.
+        """
+        if self.inactivation_limit <= 0 or self.is_complete:
+            return
+        unknowns = int(self._elimination_nodes().size)
+        if unknowns > self.inactivation_limit:
+            return
+        signature = (unknowns, self._num_equations)
+        if signature == self._last_stall_signature:
+            return
+        self._last_stall_signature = signature
+        self._run_inactivation()
+
+    def _run_inactivation(self) -> bool:
+        """Solve the stalled equations by bit-packed GF(2) elimination.
+
+        Unknown nodes become columns; every equation that still has
+        unknown participants becomes a row whose right-hand side is the
+        XOR of its known participants (``acc``).  On full column rank all
+        unknowns are recovered at once.
+        """
+        self._ensure_eq_csr()
+        unknown_nodes = self._elimination_nodes()
+        u = unknown_nodes.size
+        if u == 0:
+            return True
+        col_of = np.full(self.num_nodes, -1, dtype=np.int64)
+        col_of[unknown_nodes] = np.arange(u)
+        rows = np.nonzero(self.unknown_count[:self._num_equations] >= 1)[0]
+        if rows.size < u:
+            return False
+        # Bit-packed coefficient matrix: one uint64 word per 64 columns.
+        words = (u + 63) // 64
+        mat = np.zeros((rows.size, words), dtype=np.uint64)
+        for i, eq in enumerate(rows):
+            participants = self._equation_participants(int(eq))
+            cols = col_of[participants[~self.known[participants]]]
+            # bitwise_or.at because several columns can share a word
+            np.bitwise_or.at(mat[i], cols >> 6,
+                             np.uint64(1) << (cols & 63).astype(np.uint64))
+        rhs = self._acc[rows].copy() if self._acc is not None else None
+        self._inactivation_runs += 1
+        solved = gf2_gauss_jordan(mat, u, rhs)
+        if solved is None:
+            return False
+        self._last_stall_signature = None
+        if self.values is not None:
+            self.values[unknown_nodes] = rhs[solved]
+        self._mark_known(unknown_nodes)
+        # Let peeling mop up anything downstream (e.g. unknown checks of
+        # now-complete layers) so counters stay consistent.
+        self._propagate(unknown_nodes)
+        return True
+
+
+def gf2_gauss_jordan(mat: np.ndarray, num_cols: int,
+                     rhs: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """In-place Gauss-Jordan over GF(2) on a bit-packed matrix.
+
+    Returns the row index holding each column's pivot (so ``rhs[result]``
+    lists the solved values column by column), or ``None`` when the
+    matrix does not have full column rank.  ``rhs`` rows are XORed along
+    with the coefficient rows when provided.
+    """
+    num_rows = mat.shape[0]
+    pivot_row_of_col = np.full(num_cols, -1, dtype=np.int64)
+    row = 0
+    for col in range(num_cols):
+        word, bit = col >> 6, np.uint64(col & 63)
+        column_bits = (mat[row:, word] >> bit) & np.uint64(1)
+        hits = np.nonzero(column_bits)[0]
+        if hits.size == 0:
+            return None
+        pivot = row + int(hits[0])
+        if pivot != row:
+            mat[[row, pivot]] = mat[[pivot, row]]
+            if rhs is not None:
+                rhs[[row, pivot]] = rhs[[pivot, row]]
+        mask = ((mat[:, word] >> bit) & np.uint64(1)).astype(bool)
+        mask[row] = False
+        if np.any(mask):
+            mat[mask] ^= mat[row]
+            if rhs is not None:
+                rhs[mask] ^= rhs[row]
+        pivot_row_of_col[col] = row
+        row += 1
+        if row > num_rows:
+            return None
+    return pivot_row_of_col

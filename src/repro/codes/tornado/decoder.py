@@ -2,24 +2,20 @@
 
 Every right node of every cascade graph yields one XOR *equation*: the
 XOR of the right node's value and all its left neighbours' values is
-zero.  Whenever an equation has exactly one unknown participant, that
-participant equals the XOR of the known ones ("substitution rule").  The
-decoder repeats this until no equation is ready, solving the cap's small
-Reed-Solomon system as soon as enough of its participants are known.
+zero.  The equation system is therefore known in full before the first
+packet arrives, and decoding runs on the shared
+:class:`~repro.codes.peeling.PeelingEngine` (also used by the LT rateless
+decoder) in its *static* configuration: equations are installed up
+front, packets are fed as direct node observations, and the engine's
+wave-vectorised substitution rule does the rest.
 
-Bookkeeping is the standard O(edges) scheme:
+What Tornado adds on top of the generic engine:
 
-* ``unknown_count[e]`` — unknown participants remaining in equation e;
-* ``xor_ids[e]``       — XOR of the *indices* of unknown participants, so
-  when the count hits one the missing index is read off directly;
-* ``acc[e]``           — XOR of the known participants' *payloads* (only
-  in payload mode), so the recovered value is read off directly.
-
-Propagation is wave-vectorised: all packets that became known in a wave
-update their equations with ``np.add.at`` / ``np.bitwise_xor.at`` scatter
-operations, and the next wave is the set of newly solvable packets.  This
-makes batch decoding fast while keeping single-packet incremental feeding
-(needed to measure reception overhead exactly) cheap.
+* the cascade's *cap* — a small Reed-Solomon code over the last graph
+  layer — is solved as soon as enough of its participants are known
+  (the engine's quiescence hook);
+* packet-feeding bookkeeping: index validation, duplicate counting, and
+  the paper's ``payload_size`` constraints for the GF(2^16) cap.
 
 The decoder can run in two modes:
 
@@ -32,15 +28,16 @@ The decoder can run in two modes:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.codes.peeling import PeelingEngine
 from repro.codes.tornado.graph import CascadeStructure
-from repro.errors import DecodeFailure, ParameterError
+from repro.errors import ParameterError
 
 
-class PeelingDecoder:
+class PeelingDecoder(PeelingEngine):
     """Incremental peeling decoder over a :class:`CascadeStructure`.
 
     Parameters
@@ -63,19 +60,6 @@ class PeelingDecoder:
     def __init__(self, structure: CascadeStructure,
                  payload_size: Optional[int] = None,
                  inactivation_limit: int = 0):
-        self.structure = structure
-        self.payload_size = payload_size
-        self.inactivation_limit = int(inactivation_limit)
-        self._build_equations()
-        n = structure.n
-        self.known = np.zeros(n, dtype=bool)
-        self._source_known = 0
-        self._packets_added = 0
-        self._duplicates = 0
-        self._inactivation_runs = 0
-        self._last_inactivation_unknowns: Optional[int] = None
-        self._eq_indptr: Optional[np.ndarray] = None
-        self._eq_nodes: Optional[np.ndarray] = None
         if payload_size is not None:
             if payload_size <= 0:
                 raise ParameterError("payload_size must be positive")
@@ -83,17 +67,23 @@ class PeelingDecoder:
                     and payload_size % 2):
                 raise ParameterError(
                     "cap code runs over GF(2^16); payload size must be even")
-            self.values: Optional[np.ndarray] = np.zeros(
-                (n, payload_size), dtype=np.uint8)
-            self._acc: Optional[np.ndarray] = np.zeros(
-                (self._num_equations, payload_size), dtype=np.uint8)
-        else:
-            self.values = None
-            self._acc = None
+        self.structure = structure
+        self._packets_added = 0
+        self._duplicates = 0
+        super().__init__(structure.n,
+                         payload_size=payload_size,
+                         source_count=structure.k,
+                         inactivation_limit=inactivation_limit)
+        self._install_cascade_equations()
+        # Cap bookkeeping.
+        self._cap_members = np.zeros(structure.n, dtype=bool)
+        self._cap_members[structure.cap_member_indices()] = True
+        self._cap_known = 0
+        self._cap_solved = False
 
     # -- construction ---------------------------------------------------------
 
-    def _build_equations(self) -> None:
+    def _install_cascade_equations(self) -> None:
         st = self.structure
         part_nodes = []
         part_eqs = []
@@ -110,44 +100,15 @@ class PeelingDecoder:
             part_eqs.append(
                 np.arange(graph.right_size, dtype=np.int64) + eq_base)
             eq_base += graph.right_size
-        self._num_equations = eq_base
         if part_nodes:
             nodes = np.concatenate(part_nodes)
             eqs = np.concatenate(part_eqs)
         else:
             nodes = np.zeros(0, dtype=np.int64)
             eqs = np.zeros(0, dtype=np.int64)
-        # CSR: node -> equations it participates in.
-        order = np.argsort(nodes, kind="stable")
-        self._node_eqs = eqs[order]
-        counts = np.bincount(nodes, minlength=st.n)
-        self._node_indptr = np.zeros(st.n + 1, dtype=np.int64)
-        np.cumsum(counts, out=self._node_indptr[1:])
-        # Raw incidence arrays, kept for the (lazy) eq -> nodes CSR that
-        # inactivation decoding needs.
-        self._raw_nodes = nodes
-        self._raw_eqs = eqs
-        # Per-equation unknown counters and unknown-index XOR.
-        self.unknown_count = np.bincount(
-            eqs, minlength=self._num_equations).astype(np.int64)
-        self.xor_ids = np.zeros(self._num_equations, dtype=np.int64)
-        np.bitwise_xor.at(self.xor_ids, eqs, nodes)
-        # Cap bookkeeping.
-        self._cap_members = np.zeros(st.n, dtype=bool)
-        self._cap_members[st.cap_member_indices()] = True
-        self._cap_known = 0
-        self._cap_solved = False
+        self.load_static_equations(eq_base, nodes, eqs)
 
     # -- public state -----------------------------------------------------------
-
-    @property
-    def is_complete(self) -> bool:
-        """True once every source packet is known."""
-        return self._source_known >= self.structure.k
-
-    @property
-    def source_known_count(self) -> int:
-        return self._source_known
 
     @property
     def packets_added(self) -> int:
@@ -158,16 +119,6 @@ class PeelingDecoder:
     def duplicates_seen(self) -> int:
         """Packets fed in that were already known (received twice)."""
         return self._duplicates
-
-    def source_data(self) -> np.ndarray:
-        """The reconstructed ``(k, P)`` source block (payload mode only)."""
-        if self.values is None:
-            raise ParameterError("structural decoder holds no payloads")
-        if not self.is_complete:
-            raise DecodeFailure(
-                "source not fully recovered",
-                missing=self.structure.k - self._source_known)
-        return self.values[:self.structure.k].copy()
 
     # -- feeding packets ----------------------------------------------------------
 
@@ -180,14 +131,12 @@ class PeelingDecoder:
             self._duplicates += 1
             return False
         self._packets_added += 1
-        frontier = np.asarray([index], dtype=np.int64)
-        if self.values is not None:
-            if payload is None:
-                raise ParameterError("payload decoder requires packet payloads")
-            self.values[index] = payload
-        self._mark_known(frontier)
-        self._propagate(frontier)
-        self._maybe_inactivate()
+        if self.values is not None and payload is None:
+            raise ParameterError("payload decoder requires packet payloads")
+        payloads = None if payload is None else np.asarray(
+            payload, dtype=np.uint8)[np.newaxis]
+        self.observe_nodes(np.asarray([index], dtype=np.int64), payloads)
+        self.maybe_inactivate()
         return True
 
     def add_packets(self, indices: Sequence[int],
@@ -210,89 +159,44 @@ class PeelingDecoder:
         self._packets_added += int(fresh.size)
         if fresh.size == 0:
             return 0
-        if self.values is not None:
-            self.values[fresh] = payloads[first[fresh_mask]]
-        self._mark_known(fresh)
-        self._propagate(fresh)
-        self._maybe_inactivate()
+        fresh_payloads = (payloads[first[fresh_mask]]
+                          if self.values is not None else None)
+        self.observe_nodes(fresh, fresh_payloads)
+        self.maybe_inactivate()
         return int(fresh.size)
 
-    # -- core propagation -----------------------------------------------------------
+    # -- cap handling (engine hooks) ---------------------------------------------
 
     def _mark_known(self, nodes: np.ndarray) -> None:
-        self.known[nodes] = True
-        self._source_known += int(np.count_nonzero(nodes < self.structure.k))
+        super()._mark_known(nodes)
         self._cap_known += int(np.count_nonzero(self._cap_members[nodes]))
 
-    def _gather_incidences(self, nodes: np.ndarray):
-        """All (equation, node) incidences of ``nodes`` as flat arrays."""
-        starts = self._node_indptr[nodes]
-        ends = self._node_indptr[nodes + 1]
-        counts = ends - starts
-        total = int(counts.sum())
-        if total == 0:
-            return None, None
-        # Flattened multi-slice gather.
-        cum = np.cumsum(counts) - counts
-        flat = np.repeat(starts - cum, counts) + np.arange(total)
-        eqs = self._node_eqs[flat]
-        nodes_rep = np.repeat(nodes, counts)
-        return eqs, nodes_rep
+    def _elimination_nodes(self) -> np.ndarray:
+        # Cap redundancy participates in no XOR equation, so it can never
+        # be an elimination column.
+        return np.nonzero(~self.known[:self.structure.cap_offset])[0]
 
-    def _propagate(self, frontier: np.ndarray) -> None:
-        """Run peeling waves until quiescent, solving the cap when ready."""
-        while True:
-            while frontier.size:
-                eqs, nodes_rep = self._gather_incidences(frontier)
-                if eqs is None:
-                    frontier = np.zeros(0, dtype=np.int64)
-                    break
-                np.subtract.at(self.unknown_count, eqs, 1)
-                np.bitwise_xor.at(self.xor_ids, eqs, nodes_rep)
-                if self._acc is not None:
-                    np.bitwise_xor.at(self._acc, eqs, self.values[nodes_rep])
-                touched = np.unique(eqs)
-                ready = touched[self.unknown_count[touched] == 1]
-                candidates = self.xor_ids[ready]
-                new_mask = ~self.known[candidates]
-                candidates = candidates[new_mask]
-                ready = ready[new_mask]
-                if candidates.size == 0:
-                    frontier = np.zeros(0, dtype=np.int64)
-                    break
-                uniq, first = np.unique(candidates, return_index=True)
-                if self.values is not None:
-                    self.values[uniq] = self._acc[ready[first]]
-                self._mark_known(uniq)
-                frontier = uniq
-            if self._try_solve_cap():
-                frontier = self._cap_recovered
-                continue
-            return
-
-    def _try_solve_cap(self) -> bool:
+    def _on_quiescent(self) -> Optional[np.ndarray]:
         """Solve the cap RS system once enough participants are known.
 
-        Returns True when new packets were recovered (they are left in
-        ``self._cap_recovered`` for the propagation loop to continue with).
+        Returns the newly recovered node indices for the propagation loop
+        to continue with, or ``None``.
         """
         st = self.structure
         if self._cap_solved or self._cap_known < st.last_layer_size:
-            return False
+            return None
         last_off = st.last_layer_offset
         last_size = st.last_layer_size
         last_nodes = np.arange(last_off, last_off + last_size)
         missing_local = np.nonzero(~self.known[last_nodes])[0]
         self._cap_solved = True
         if missing_local.size == 0:
-            self._cap_recovered = np.zeros(0, dtype=np.int64)
-            return False
+            return None
         recovered_nodes = last_nodes[missing_local]
         if self.values is not None:
             self._solve_cap_payloads(missing_local)
         self._mark_known(recovered_nodes)
-        self._cap_recovered = recovered_nodes
-        return True
+        return recovered_nodes
 
     def _solve_cap_payloads(self, missing_local: np.ndarray) -> None:
         """Recover missing last-layer payloads via the cap RS decode."""
@@ -311,125 +215,3 @@ class PeelingDecoder:
         decoded = code.decode(received)
         recovered_bytes = decoded[missing_local].view(np.uint8)
         self.values[last_off + missing_local] = recovered_bytes
-
-    # -- inactivation decoding -------------------------------------------------------
-
-    @property
-    def inactivation_runs(self) -> int:
-        """Number of Gaussian-elimination fallbacks executed so far."""
-        return self._inactivation_runs
-
-    def _ensure_eq_csr(self) -> None:
-        """Lazily build the equation -> participant nodes CSR."""
-        if self._eq_indptr is not None:
-            return
-        order = np.argsort(self._raw_eqs, kind="stable")
-        self._eq_nodes = self._raw_nodes[order]
-        counts = np.bincount(self._raw_eqs, minlength=self._num_equations)
-        self._eq_indptr = np.zeros(self._num_equations + 1, dtype=np.int64)
-        np.cumsum(counts, out=self._eq_indptr[1:])
-
-    def _maybe_inactivate(self) -> None:
-        """Run the GF(2) fallback when enabled, useful and not yet tried.
-
-        Gated so that repeated feeding stays cheap: the solver runs only
-        when the residual unknown count is within the limit and has
-        shrunk since the last (failed) attempt.
-        """
-        if self.inactivation_limit <= 0 or self.is_complete:
-            return
-        st = self.structure
-        unknowns = int(np.count_nonzero(~self.known[:st.cap_offset]))
-        if unknowns > self.inactivation_limit:
-            return
-        if (self._last_inactivation_unknowns is not None
-                and unknowns >= self._last_inactivation_unknowns):
-            return
-        self._last_inactivation_unknowns = unknowns
-        self._run_inactivation()
-
-    def _run_inactivation(self) -> bool:
-        """Solve the stalled equations by bit-packed GF(2) elimination.
-
-        Unknown packets (excluding cap redundancy, which participates in
-        no XOR equation) become columns; every equation that still has
-        unknown participants becomes a row whose right-hand side is the
-        XOR of its known participants (``acc``).  On full column rank all
-        unknowns are recovered at once.
-        """
-        st = self.structure
-        self._ensure_eq_csr()
-        unknown_nodes = np.nonzero(~self.known[:st.cap_offset])[0]
-        u = unknown_nodes.size
-        if u == 0:
-            return True
-        col_of = np.full(st.cap_offset, -1, dtype=np.int64)
-        col_of[unknown_nodes] = np.arange(u)
-        rows = np.nonzero(self.unknown_count >= 1)[0]
-        if rows.size < u:
-            return False
-        # Bit-packed coefficient matrix: one uint64 word per 64 columns.
-        words = (u + 63) // 64
-        mat = np.zeros((rows.size, words), dtype=np.uint64)
-        for i, eq in enumerate(rows):
-            lo, hi = self._eq_indptr[eq], self._eq_indptr[eq + 1]
-            participants = self._eq_nodes[lo:hi]
-            cols = col_of[participants[~self.known[participants]]]
-            # bitwise_or.at because several columns can share a word
-            np.bitwise_or.at(mat[i], cols >> 6,
-                             np.uint64(1) << (cols & 63).astype(np.uint64))
-        rhs = self._acc[rows].copy() if self._acc is not None else None
-        self._inactivation_runs += 1
-        solved = _gf2_gauss_jordan(mat, u, rhs)
-        if solved is None:
-            return False
-        self._last_inactivation_unknowns = None
-        if self.values is not None:
-            self.values[unknown_nodes] = rhs[solved]
-        self._mark_known(unknown_nodes)
-        # Let peeling mop up anything downstream (e.g. unknown checks of
-        # now-complete layers) so counters stay consistent.
-        self._propagate(unknown_nodes)
-        return True
-
-    # -- convenience ----------------------------------------------------------------
-
-    def missing_source_indices(self) -> np.ndarray:
-        """Source packet indices not yet recovered."""
-        return np.nonzero(~self.known[:self.structure.k])[0]
-
-
-def _gf2_gauss_jordan(mat: np.ndarray, num_cols: int,
-                      rhs: Optional[np.ndarray]) -> Optional[np.ndarray]:
-    """In-place Gauss-Jordan over GF(2) on a bit-packed matrix.
-
-    Returns the row index holding each column's pivot (so ``rhs[result]``
-    lists the solved values column by column), or ``None`` when the
-    matrix does not have full column rank.  ``rhs`` rows are XORed along
-    with the coefficient rows when provided.
-    """
-    num_rows = mat.shape[0]
-    pivot_row_of_col = np.full(num_cols, -1, dtype=np.int64)
-    row = 0
-    for col in range(num_cols):
-        word, bit = col >> 6, np.uint64(col & 63)
-        column_bits = (mat[row:, word] >> bit) & np.uint64(1)
-        hits = np.nonzero(column_bits)[0]
-        if hits.size == 0:
-            return None
-        pivot = row + int(hits[0])
-        if pivot != row:
-            mat[[row, pivot]] = mat[[pivot, row]]
-            if rhs is not None:
-                rhs[[row, pivot]] = rhs[[pivot, row]]
-        mask = ((mat[:, word] >> bit) & np.uint64(1)).astype(bool)
-        mask[row] = False
-        if np.any(mask):
-            mat[mask] ^= mat[row]
-            if rhs is not None:
-                rhs[mask] ^= rhs[row]
-        pivot_row_of_col[col] = row
-        row += 1
-        if row > num_rows:
-            return None
-    return pivot_row_of_col

@@ -20,69 +20,15 @@ overhead eps costs a multiplicative bump in work.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
-
-import numpy as np
-
+from repro.codes.degree import DegreeDistribution
 from repro.errors import ParameterError
-from repro.utils.rng import RngLike, ensure_rng
 
-
-@dataclass(frozen=True)
-class DegreeDistribution:
-    """A probability mass function over left-node degrees.
-
-    Attributes
-    ----------
-    degrees:
-        The support (distinct degree values, ascending).
-    probabilities:
-        The pmf over ``degrees``; sums to 1.
-    """
-
-    degrees: Tuple[int, ...]
-    probabilities: Tuple[float, ...]
-
-    def __post_init__(self) -> None:
-        if len(self.degrees) != len(self.probabilities) or not self.degrees:
-            raise ParameterError("degrees/probabilities length mismatch")
-        if any(d < 1 for d in self.degrees):
-            raise ParameterError("degrees must be >= 1")
-        total = float(sum(self.probabilities))
-        if not np.isclose(total, 1.0, atol=1e-9):
-            raise ParameterError(f"probabilities sum to {total}, expected 1")
-
-    @property
-    def average_degree(self) -> float:
-        """Expected node degree — proportional to encode/decode work."""
-        return float(np.dot(self.degrees, self.probabilities))
-
-    @property
-    def max_degree(self) -> int:
-        return max(self.degrees)
-
-    def sample(self, count: int, rng: RngLike = None) -> np.ndarray:
-        """Draw ``count`` node degrees i.i.d. from the pmf."""
-        gen = ensure_rng(rng)
-        return gen.choice(np.asarray(self.degrees, dtype=np.int64),
-                          size=count,
-                          p=np.asarray(self.probabilities, dtype=float))
-
-    def truncated(self, max_degree: int) -> "DegreeDistribution":
-        """Restrict the support to ``degrees <= max_degree`` and renormalise.
-
-        Needed when a cascade layer is so small that sampled degrees could
-        exceed the number of check nodes available.
-        """
-        pairs = [(d, p) for d, p in zip(self.degrees, self.probabilities)
-                 if d <= max_degree]
-        if not pairs:
-            raise ParameterError(
-                f"no degrees <= {max_degree} in support {self.degrees}")
-        ds, ps = zip(*pairs)
-        total = sum(ps)
-        return DegreeDistribution(tuple(ds), tuple(p / total for p in ps))
+__all__ = [
+    "DegreeDistribution",
+    "heavy_tail_distribution",
+    "regular_distribution",
+    "two_point_distribution",
+]
 
 
 def heavy_tail_distribution(truncation: int) -> DegreeDistribution:

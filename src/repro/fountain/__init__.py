@@ -1,14 +1,33 @@
 """The digital-fountain transmission layer (paper Sections 3, 4 and 7).
 
-A :class:`~repro.fountain.carousel.CarouselServer` cycles through a
-random permutation of an erasure encoding; a
-:class:`~repro.fountain.client.FountainClient` drinks packets from the
-stream until its decoder completes, tracking the reception-efficiency
-metrics of Section 6/7.3.
+Two server shapes approximate/realise the fountain of Section 3:
+
+* :class:`~repro.fountain.carousel.CarouselServer` — the paper's
+  approximation: cycle through a random permutation of a fixed-rate
+  erasure encoding (Tornado, Reed-Solomon, interleaved).
+* :class:`~repro.fountain.rateless.RatelessServer` — the ideal the
+  paper motivates: stream unbounded LT droplets, no stretch-factor
+  ceiling, no wrap-around duplicates.
+
+Both emit :class:`~repro.fountain.packets.EncodingPacket` (the paper's
+12-byte header + payload) stamped by a shared
+:class:`~repro.fountain.packets.HeaderSequencer`; a
+:class:`~repro.fountain.client.FountainClient` drinks packets from
+either stream until its decoder completes, tracking the
+reception-efficiency metrics of Section 6/7.3
+(:class:`~repro.fountain.metrics.ReceptionStats`);
+:class:`~repro.fountain.aggregate.MultiSourceClient` merges several
+carousel streams (Section 8's mirroring application).
 """
 
-from repro.fountain.packets import PacketHeader, EncodingPacket, HEADER_SIZE
+from repro.fountain.packets import (
+    PacketHeader,
+    EncodingPacket,
+    HeaderSequencer,
+    HEADER_SIZE,
+)
 from repro.fountain.carousel import CarouselServer
+from repro.fountain.rateless import RatelessServer
 from repro.fountain.client import FountainClient, ClientMode
 from repro.fountain.metrics import ReceptionStats
 from repro.fountain.aggregate import (
@@ -19,8 +38,10 @@ from repro.fountain.aggregate import (
 __all__ = [
     "PacketHeader",
     "EncodingPacket",
+    "HeaderSequencer",
     "HEADER_SIZE",
     "CarouselServer",
+    "RatelessServer",
     "FountainClient",
     "ClientMode",
     "ReceptionStats",

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.codes.base import ErasureCode
-from repro.codes.tornado.code import TornadoCode
 from repro.errors import DecodeFailure, ParameterError
 from repro.fountain.carousel import CarouselServer
 from repro.fountain.metrics import ReceptionStats
@@ -43,21 +42,26 @@ class SourceReport:
 class MultiSourceClient:
     """Aggregates packets from several servers sharing one erasure code.
 
-    All servers must carousel the *same* encoding (same code, same
+    Carousel mirrors must cycle the *same* encoding (same code, same
     seed-derived graph) but may use independent transmission orders —
-    which is exactly what keeps early duplicates rare.
+    which is exactly what keeps early duplicates rare.  Rateless (LT)
+    mirrors share the droplet spec instead and should emit disjoint
+    droplet-id ranges, which keeps duplicates at exactly zero.
     """
 
     def __init__(self, code: ErasureCode,
                  payload_size: Optional[int] = None):
         self.code = code
-        if isinstance(code, TornadoCode):
+        if hasattr(code, "new_decoder"):
             self._decoder = code.new_decoder(payload_size=payload_size)
             self._seen_fallback: Optional[set] = None
         else:
             self._decoder = None
             self._seen_fallback = set()
-        self._seen = np.zeros(code.n, dtype=bool)
+        # A rateless code has unbounded packet indices (code.n is None);
+        # fall back to set-based duplicate tracking for it.
+        self._seen = (np.zeros(code.n, dtype=bool)
+                      if code.n is not None else set())
         self.reports: Dict[int, SourceReport] = {}
         self.total_received = 0
         self.distinct_received = 0
@@ -68,17 +72,28 @@ class MultiSourceClient:
             return self._decoder.is_complete
         return self.code.is_decodable(self._seen_fallback)
 
+    def _first_sighting(self, index: int) -> bool:
+        """Record ``index`` as seen; True when this is its first arrival."""
+        if isinstance(self._seen, set):
+            if index in self._seen:
+                return False
+            self._seen.add(index)
+            return True
+        if self._seen[index]:
+            return False
+        self._seen[index] = True
+        return True
+
     def receive_from(self, source_id: int, index: int,
                      payload: Optional[np.ndarray] = None) -> bool:
         """Ingest one packet attributed to a mirror; True when complete."""
-        if not 0 <= index < self.code.n:
+        if index < 0 or (self.code.n is not None and index >= self.code.n):
             raise ParameterError(f"index {index} outside encoding")
         report = self.reports.setdefault(
             source_id, SourceReport(source_id, 0, 0))
         report.received += 1
         self.total_received += 1
-        if not self._seen[index]:
-            self._seen[index] = True
+        if self._first_sighting(index):
             self.distinct_received += 1
             report.useful += 1
             if self._decoder is not None:

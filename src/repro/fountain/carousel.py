@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.codes.base import ErasureCode
 from repro.errors import ParameterError
-from repro.fountain.packets import EncodingPacket, PacketHeader
+from repro.fountain.packets import EncodingPacket, HeaderSequencer
 from repro.utils.rng import RngLike, spawn_rng
 
 #: rng stream label for the transmission permutation.
@@ -66,7 +66,7 @@ class CarouselServer:
             rng = spawn_rng(seed, _PERMUTATION_STREAM)
             self.order = rng.permutation(code.n).astype(np.int64)
         self.group = group
-        self._serial = 0
+        self._sequencer = HeaderSequencer(group=group)
 
     @property
     def cycle_length(self) -> int:
@@ -91,13 +91,11 @@ class CarouselServer:
                 "construct with an encoding block")
         emitted = 0
         while count is None or emitted < count:
-            index = int(self.order[self._serial % self.cycle_length])
-            header = PacketHeader(index=index, serial=self._serial,
-                                  group=self.group)
+            index = int(self.order[self._sequencer.serial % self.cycle_length])
+            header = self._sequencer.next_header(index)
             yield EncodingPacket(header=header, payload=self.encoding[index])
-            self._serial += 1
             emitted += 1
 
     def reset(self) -> None:
         """Rewind the serial counter (a fresh session)."""
-        self._serial = 0
+        self._sequencer.reset()

@@ -11,9 +11,13 @@ Section 7.2 describes two client decoding protocols:
   the paper chose this for its prototype as "simpler and sufficiently
   fast in practice".
 
-Both are implemented here on top of the incremental
-:class:`~repro.codes.tornado.decoder.PeelingDecoder` (Tornado) or the
-generic batch decode (other codes).
+Both are implemented here on top of the incremental decoders of the
+shared peeling engine (Tornado's
+:class:`~repro.codes.tornado.decoder.PeelingDecoder` and the LT
+:class:`~repro.codes.lt.decoder.LTDecoder` — any code exposing
+``new_decoder``) or the generic batch decode for everything else.  For a
+rateless code the packet ``index`` is the droplet id; the client neither
+knows nor cares that the stream has no end.
 """
 
 from __future__ import annotations
@@ -24,7 +28,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.codes.base import ErasureCode
-from repro.codes.tornado.code import TornadoCode
 from repro.errors import DecodeFailure, ParameterError
 from repro.fountain.metrics import ReceptionStats
 from repro.fountain.packets import EncodingPacket
@@ -72,7 +75,7 @@ class FountainClient:
         self._complete = False
         self._next_attempt = int(np.ceil((1 + statistical_margin) * code.k))
         self._decode_attempts = 0
-        if isinstance(code, TornadoCode) and mode is ClientMode.INCREMENTAL:
+        if hasattr(code, "new_decoder") and mode is ClientMode.INCREMENTAL:
             self._decoder = code.new_decoder(payload_size=payload_size)
         else:
             self._decoder = None

@@ -11,6 +11,11 @@ same 12-byte header: three big-endian unsigned 32-bit fields.
   carousel cycles (and lets receivers estimate loss rates).
 * ``group``  — multicast group / layer number for the layered protocol
   (always 0 on a single-layer carousel).
+
+For a rateless (LT) stream the ``index`` field carries the *droplet id*
+— unbounded, never repeating — instead of a position in a finite
+encoding.  :class:`HeaderSequencer` owns the serial/group stamping all
+fountain servers share.
 """
 
 from __future__ import annotations
@@ -55,6 +60,43 @@ class PacketHeader:
                 f"header needs {HEADER_SIZE} bytes, got {len(data)}")
         index, serial, group = _HEADER_STRUCT.unpack(data[:HEADER_SIZE])
         return cls(index=index, serial=serial, group=group)
+
+
+class HeaderSequencer:
+    """Stamps consecutive transmission serials into packet headers.
+
+    The serial/group bookkeeping every fountain server needs is
+    identical whether the stream cycles a finite encoding
+    (:class:`~repro.fountain.carousel.CarouselServer`) or pours
+    unbounded droplets
+    (:class:`~repro.fountain.rateless.RatelessServer`): each emitted
+    packet gets the next serial number and the server's group tag.
+    Servers own *which* encoding index goes out next; this owns the
+    header around it.
+    """
+
+    def __init__(self, group: int = 0, start_serial: int = 0):
+        if not 0 <= group < 2 ** 32:
+            raise ProtocolError(f"group {group} outside uint32 range")
+        self.group = group
+        self._start_serial = start_serial
+        self._serial = start_serial
+
+    @property
+    def serial(self) -> int:
+        """The serial the next emitted packet will carry."""
+        return self._serial
+
+    def next_header(self, index: int) -> PacketHeader:
+        """The header for encoding packet ``index``; advances the serial."""
+        header = PacketHeader(index=index, serial=self._serial,
+                              group=self.group)
+        self._serial += 1
+        return header
+
+    def reset(self) -> None:
+        """Rewind to the starting serial (a fresh session)."""
+        self._serial = self._start_serial
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,94 @@
+"""A true digital fountain: stream unbounded LT droplets.
+
+Section 3's ideal — "a server would cast out a continuous stream of
+encoding packets, and a client could reconstruct the source data from
+*any* subset of them of sufficient size" — is exactly what
+:class:`RatelessServer` provides.  Where
+:class:`~repro.fountain.carousel.CarouselServer` cycles a fixed
+``n``-packet encoding (the paper's carousel approximation, with its
+stretch-factor ceiling and wrap-around duplicates), the rateless server
+walks droplet ids ``start, start+1, start+2, ...`` forever, XORing each
+droplet's payload on demand; no two packets it emits are ever
+duplicates, so the receiver's distinctness efficiency is always 1.
+
+Both servers emit the same 12-byte-header
+:class:`~repro.fountain.packets.EncodingPacket` wire format through the
+shared :class:`~repro.fountain.packets.HeaderSequencer` — for a rateless
+stream the ``index`` field carries the droplet id.  Mirrors running the
+same code should use disjoint id ranges (e.g. ``start=m * 2**24`` for
+mirror ``m``) so that aggregation stays duplicate-free too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.codes.lt.code import LTCode
+from repro.errors import ParameterError
+from repro.fountain.packets import EncodingPacket, HeaderSequencer
+
+
+class RatelessServer:
+    """Pours an endless droplet stream for one source block.
+
+    Parameters
+    ----------
+    code:
+        The shared :class:`~repro.codes.lt.code.LTCode` (defines the
+        droplet spec receivers will regenerate neighbours from).
+    source:
+        The ``(k, P)`` source packet block; omit for an *index-only*
+        server that can only produce droplet-id streams for structural
+        simulations.
+    start:
+        First droplet id to emit.  Give each mirror its own range.
+    group:
+        Group number stamped into packet headers.
+    """
+
+    def __init__(self, code: LTCode,
+                 source: Optional[np.ndarray] = None,
+                 start: int = 0,
+                 group: int = 0):
+        if start < 0:
+            raise ParameterError("start droplet id must be >= 0")
+        self.code = code
+        self.encoder = None if source is None else code.encoder(source)
+        self.start = int(start)
+        self.group = group
+        self._sequencer = HeaderSequencer(group=group)
+
+    @property
+    def next_droplet_id(self) -> int:
+        """The droplet id the next emitted packet will carry."""
+        return self.start + self._sequencer.serial
+
+    def index_stream(self, count: int) -> np.ndarray:
+        """The next ``count`` droplet ids (no packet objects).
+
+        Stateless with respect to the serial counter: slot ``t`` always
+        carries droplet ``start + t``, so simulations can regenerate any
+        window of the stream.
+        """
+        return self.start + np.arange(count, dtype=np.int64)
+
+    def packets(self, count: Optional[int] = None) -> Iterator[EncodingPacket]:
+        """Yield the next ``count`` packets (infinite when ``None``)."""
+        if self.encoder is None:
+            raise ParameterError(
+                "index-only rateless server cannot emit payload packets; "
+                "construct with a source block")
+        emitted = 0
+        while count is None or emitted < count:
+            droplet_id = self.next_droplet_id
+            header = self._sequencer.next_header(droplet_id)
+            yield EncodingPacket(
+                header=header,
+                payload=self.encoder.droplet_payload(droplet_id))
+            emitted += 1
+
+    def reset(self) -> None:
+        """Rewind the stream to its starting droplet (a fresh session)."""
+        self._sequencer.reset()

@@ -1,0 +1,140 @@
+"""The shared peeling engine, driven directly with hand-built systems."""
+
+import numpy as np
+import pytest
+
+from repro.codes.peeling import PeelingEngine, gf2_gauss_jordan
+from repro.errors import DecodeFailure, ParameterError
+
+
+def payload(*values):
+    return np.asarray(values, dtype=np.uint8)
+
+
+class TestDynamicEquations:
+    def test_degree_one_equation_solves_directly(self):
+        eng = PeelingEngine(3, payload_size=2)
+        assert eng.add_equation([1], payload(7, 9))
+        assert eng.known[1]
+        assert np.array_equal(eng.values[1], payload(7, 9))
+
+    def test_substitution_chain(self):
+        # x0 = 5; x0 ^ x1 = 3  =>  x1 = 6; x1 ^ x2 = 1  =>  x2 = 7.
+        eng = PeelingEngine(3, payload_size=1)
+        eng.add_equation([1, 2], payload(1))
+        eng.add_equation([0, 1], payload(3))
+        assert not eng.is_complete
+        eng.add_equation([0], payload(5))
+        assert eng.is_complete
+        assert np.array_equal(eng.values[:, 0], [5, 6, 7])
+
+    def test_redundant_equation_reports_false(self):
+        eng = PeelingEngine(2, payload_size=1)
+        assert eng.add_equation([0], payload(1))
+        assert eng.add_equation([1], payload(2))
+        assert not eng.add_equation([0, 1], payload(3))
+
+    def test_known_participants_fold_into_rhs(self):
+        eng = PeelingEngine(2, payload_size=1)
+        eng.add_equation([0], payload(0xF0))
+        # x0 ^ x1 = 0xFF with x0 known => x1 = 0x0F immediately.
+        eng.add_equation([0, 1], payload(0xFF))
+        assert np.array_equal(eng.values[1], payload(0x0F))
+
+    def test_structural_mode_tracks_completion_only(self):
+        eng = PeelingEngine(2)
+        eng.add_equation([0, 1])
+        eng.add_equation([0])
+        assert eng.is_complete
+        with pytest.raises(ParameterError):
+            eng.source_data()
+
+    def test_participant_range_checked(self):
+        eng = PeelingEngine(2)
+        with pytest.raises(ParameterError):
+            eng.add_equation([2])
+
+    def test_source_data_before_completion_fails(self):
+        eng = PeelingEngine(2, payload_size=1)
+        eng.add_equation([0], payload(1))
+        with pytest.raises(DecodeFailure):
+            eng.source_data()
+        assert list(eng.missing_source_indices()) == [1]
+
+
+class TestInactivation:
+    def test_stalled_cycle_needs_elimination(self):
+        # x0^x1, x1^x2, x0^x2, x0^x1^x2: no equation ever has a single
+        # unknown, yet the system has full rank over GF(2).
+        values = np.asarray([[3], [5], [6]], dtype=np.uint8)
+
+        def rhs(*nodes):
+            return np.bitwise_xor.reduce(values[list(nodes)], axis=0)
+
+        pure = PeelingEngine(3, payload_size=1, inactivation_limit=0)
+        solver = PeelingEngine(3, payload_size=1, inactivation_limit=3)
+        for eng in (pure, solver):
+            eng.add_equation([0, 1], rhs(0, 1))
+            eng.add_equation([1, 2], rhs(1, 2))
+            eng.add_equation([0, 2], rhs(0, 2))
+            eng.add_equation([0, 1, 2], rhs(0, 1, 2))
+            eng.maybe_inactivate()
+        assert not pure.is_complete
+        assert solver.is_complete
+        assert solver.inactivation_runs == 1
+        assert np.array_equal(solver.values, values)
+
+    def test_underdetermined_system_stays_incomplete(self):
+        eng = PeelingEngine(3, payload_size=1, inactivation_limit=3)
+        eng.add_equation([0, 1], payload(1))
+        eng.add_equation([1, 2], payload(2))
+        eng.maybe_inactivate()
+        assert not eng.is_complete
+
+    def test_failed_attempt_not_repeated_until_system_changes(self):
+        eng = PeelingEngine(4, inactivation_limit=4)
+        eng.add_equation([0, 1])
+        eng.add_equation([1, 2])
+        eng.add_equation([0, 2])
+        eng.add_equation([0, 1, 2])
+        eng.maybe_inactivate()
+        runs = eng.inactivation_runs
+        eng.maybe_inactivate()          # nothing changed -> no new attempt
+        assert eng.inactivation_runs == runs
+        eng.add_equation([3])           # progress -> retry allowed
+        eng.maybe_inactivate()
+        assert eng.is_complete
+
+
+class TestStaticEquations:
+    def test_static_system_peels_from_observations(self):
+        # One check node c = x0 ^ x1 laid out as node 2; observing x0 and
+        # c recovers x1 (the Tornado feeding pattern).
+        eng = PeelingEngine(3, payload_size=1)
+        nodes = np.asarray([0, 1, 2])
+        eqs = np.asarray([0, 0, 0])
+        eng.load_static_equations(1, nodes, eqs)
+        eng.observe_nodes(np.asarray([0]), payload(3)[np.newaxis])
+        eng.observe_nodes(np.asarray([2]), payload(6)[np.newaxis])
+        assert np.array_equal(eng.values[1], payload(5))
+
+    def test_static_install_rejected_after_feeding(self):
+        eng = PeelingEngine(2)
+        eng.add_equation([0])
+        with pytest.raises(ParameterError):
+            eng.load_static_equations(1, np.asarray([0, 1]),
+                                      np.asarray([0, 0]))
+
+
+class TestGaussJordan:
+    def test_full_rank_solves(self):
+        # x0^x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1.
+        mat = np.asarray([[0b11], [0b10]], dtype=np.uint64)
+        rhs = np.asarray([[1], [1]], dtype=np.uint8)
+        solved = gf2_gauss_jordan(mat, 2, rhs)
+        assert solved is not None
+        assert rhs[solved][0, 0] == 0 and rhs[solved][1, 0] == 1
+
+    def test_rank_deficient_returns_none(self):
+        mat = np.asarray([[0b11], [0b11]], dtype=np.uint64)
+        assert gf2_gauss_jordan(mat, 2, None) is None

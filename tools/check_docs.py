@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""docs-check: execute every fenced ``python`` block in the given docs.
+
+Keeps README code honest — each block runs in its own namespace, in a
+temporary working directory, with ``src/`` on the path. Fails loudly on
+the first block that raises.
+
+Usage::
+
+    python tools/check_docs.py README.md [more.md ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(markdown: str):
+    """The contents of every ```python fenced block, in order."""
+    return [match.group(1) for match in _BLOCK_RE.finditer(markdown)]
+
+
+def run_file(path: pathlib.Path) -> int:
+    blocks = python_blocks(path.read_text())
+    if not blocks:
+        print(f"{path}: no python blocks")
+        return 0
+    failures = 0
+    for i, block in enumerate(blocks, 1):
+        label = f"{path}: block {i}/{len(blocks)}"
+        try:
+            code = compile(block, f"<{label}>", "exec")
+            exec(code, {"__name__": f"__docs_block_{i}__"})
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            print(f"FAIL {label}: {type(exc).__name__}: {exc}")
+            failures += 1
+        else:
+            print(f"ok   {label}")
+    return failures
+
+
+def main(argv) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    targets = [pathlib.Path(arg) for arg in argv] or [REPO_ROOT / "README.md"]
+    failures = 0
+    with tempfile.TemporaryDirectory() as scratch:
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(scratch)
+        try:
+            for target in targets:
+                failures += run_file(target if target.is_absolute()
+                                     else pathlib.Path(cwd) / target)
+        finally:
+            os.chdir(cwd)
+    if failures:
+        print(f"{failures} doc block(s) failed")
+        return 1
+    print("all doc blocks ran clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
