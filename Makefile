@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke docs-check all
+.PHONY: test bench-smoke bench-transfer docs-check all
 
 all: test docs-check
 
@@ -14,8 +14,14 @@ test:
 
 # One quick pass over the benchmark suite — catches rot in the
 # table/figure harnesses without paying for full measurement runs.
+# Includes the block-segmented transfer sweep (bench_transfer_blocks).
 bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+# Just the transfer-subsystem sweep: block sizes x code families,
+# reporting reception overhead and end-to-end goodput.
+bench-transfer:
+	$(PYTHON) -m pytest -q benchmarks/bench_transfer_blocks.py
 
 # Fails if any ```python block in the docs does not run as written.
 docs-check:

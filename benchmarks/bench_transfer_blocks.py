@@ -1,0 +1,68 @@
+"""Block-segmented transfer: block-size sweep for overhead and throughput.
+
+The tentpole trade-off of the transfer subsystem: smaller blocks keep
+per-block decoders tiny and cache-resident (higher throughput) but pay
+more per-block reception overhead and a longer coupon-collector tail
+across blocks; bigger blocks amortise overhead but grow decoder state.
+This sweep runs the full pipeline through
+:func:`repro.sim.transfer.simulate_transfer` (segment, per-block
+encode, striped stream through a Bernoulli channel, per-block
+incremental decode, byte-exact reassembly) at three block sizes per
+code family and reports reception overhead and end-to-end goodput.
+"""
+
+import time
+
+import pytest
+
+from repro.sim.transfer import simulate_transfer
+
+FILE_SIZE = 384 * 1024
+PACKET_SIZE = 1024
+LOSS = 0.1
+
+#: source packets per block — the swept axis (>= 3 sizes).
+BLOCK_PACKETS = [64, 128, 384]
+
+
+def _run_pipeline(family, block_packets, schedule="interleave"):
+    """One timed, payload-exact transfer; returns (result, seconds)."""
+    start = time.perf_counter()
+    result = simulate_transfer(FILE_SIZE, packet_size=PACKET_SIZE,
+                               block_packets=block_packets, family=family,
+                               schedule=schedule, loss=LOSS, seed=11)
+    elapsed = time.perf_counter() - start
+    assert result.verified
+    return result, elapsed
+
+
+@pytest.mark.parametrize("family", ["tornado-b", "lt"])
+@pytest.mark.parametrize("block_packets", BLOCK_PACKETS,
+                         ids=[f"bk{b}" for b in BLOCK_PACKETS])
+def test_transfer_block_size_sweep(benchmark, family, block_packets):
+    """Overhead and goodput of one full transfer at one block size."""
+
+    result, elapsed = benchmark.pedantic(
+        _run_pipeline, args=(family, block_packets), rounds=1, iterations=1)
+    benchmark.extra_info["num_blocks"] = result.num_blocks
+    benchmark.extra_info["reception_overhead"] = round(
+        result.reception_overhead, 4)
+    benchmark.extra_info["throughput_MBps"] = round(
+        FILE_SIZE / elapsed / 1e6, 3)
+    assert result.reception_overhead < 1.0
+
+
+def test_transfer_schedule_gap(benchmark):
+    """Interleaved striping beats sequential visits on the same geometry."""
+
+    def compare():
+        inter, _ = _run_pipeline("tornado-b", 128, schedule="interleave")
+        seq, _ = _run_pipeline("tornado-b", 128, schedule="sequential")
+        return inter, seq
+
+    inter, seq = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["interleave_overhead"] = round(
+        inter.reception_overhead, 4)
+    benchmark.extra_info["sequential_overhead"] = round(
+        seq.reception_overhead, 4)
+    assert inter.packets_received < seq.packets_received

@@ -1,4 +1,4 @@
-"""Command-line interface: fountain-encode and decode real files.
+"""Command-line interface: fountain-encode, decode, and transfer files.
 
 The downstream-adoption surface of the library::
 
@@ -12,12 +12,25 @@ The downstream-adoption surface of the library::
     python -m repro lt decode shards/ recovered.iso
     python -m repro lt sim --k 1000 --trials 20   # reception overhead
 
+    # block-segmented bulk transfer: the file is cut into blocks, each
+    # gets its own small code, and one striped packet stream crosses a
+    # (simulated) lossy channel
+    python -m repro send big.iso out/ --code tornado-b --loss 0.2
+    python -m repro recv out/ recovered.iso
+
 ``encode`` writes one file per encoding packet (12-byte header + payload,
 the paper's wire format) plus a tiny manifest; ``decode`` reads whatever
 packet files survived and reconstructs the original, refusing cleanly
 when too few are present.  ``decode`` dispatches on the manifest's
 ``code`` field, so ``repro decode`` also reconstructs LT shard
 directories (``repro lt decode`` is the self-documenting alias).
+
+``send`` streams a block-segmented encoding (:mod:`repro.transfer`)
+through a :mod:`repro.net` Bernoulli channel and records the surviving
+packets into one ``stream.pkt`` file (16-byte block-aware headers when
+the plan has more than one block, the legacy byte-compatible 12-byte
+header otherwise); ``recv`` replays the survivors into per-block
+incremental decoders and writes the byte-exact original.
 """
 
 from __future__ import annotations
@@ -39,6 +52,7 @@ from repro.errors import DecodeFailure, ReproError
 from repro.fountain.packets import EncodingPacket, PacketHeader
 
 MANIFEST_NAME = "manifest.json"
+STREAM_NAME = "stream.pkt"
 
 
 def _build_code(preset: str, k: int, seed: int):
@@ -103,6 +117,10 @@ def cmd_decode(args: argparse.Namespace) -> int:
         print(f"error: no {MANIFEST_NAME} in {in_dir}", file=sys.stderr)
         return 2
     manifest = json.loads(manifest_path.read_text())
+    if manifest.get("kind") == "transfer":
+        print(f"error: {in_dir} is a block-segmented transfer directory — "
+              "use `repro recv` to reconstruct it", file=sys.stderr)
+        return 2
     if manifest.get("code", "tornado") == "lt":
         code = _build_lt_code(manifest["k"], manifest["seed"],
                               c=manifest.get("c", 0.03),
@@ -194,6 +212,112 @@ def cmd_lt_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_send(args: argparse.Namespace) -> int:
+    from repro.net.channel import LossyChannel
+    from repro.net.loss import BernoulliLoss
+    from repro.transfer import ObjectCodec, TransferClient, TransferServer
+    from repro.transfer.blocks import BlockPlan
+
+    data = pathlib.Path(args.input).read_bytes()
+    if not data:
+        raise ReproError(f"{args.input} is empty; nothing to send")
+    plan = BlockPlan.from_block_size(len(data), args.packet_size,
+                                     args.block_size)
+    codec = ObjectCodec(plan, family=args.code, seed=args.seed)
+    server = TransferServer(codec, data, schedule=args.schedule,
+                            seed=args.seed)
+    loss_seed = args.loss_seed if args.loss_seed is not None else args.seed + 1
+    channel = LossyChannel(BernoulliLoss(args.loss), rng=loss_seed)
+    # A structural (index-only) shadow client tells the sender when the
+    # survivors it has written are decodable -- mimicking a receiver-
+    # driven session without paying for a second decode of the payloads.
+    shadow = TransferClient(codec, payload_size=None)
+    limit = int(200 * codec.total_k)
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    # Drop any stale manifest first: stream.pkt is rewritten below, and a
+    # failed send must not leave the new stream paired with an old
+    # manifest's geometry.  The fresh manifest lands only on success.
+    (out_dir / MANIFEST_NAME).unlink(missing_ok=True)
+    survivors = 0
+    extra_left = args.extra
+    with open(out_dir / STREAM_NAME, "wb") as stream:
+        for packet in channel.transmit(server.packets(limit)):
+            stream.write(packet.to_bytes())
+            survivors += 1
+            if shadow.receive_index(packet.block, packet.index):
+                if extra_left <= 0:
+                    break
+                extra_left -= 1
+    if not shadow.is_complete:
+        raise ReproError(
+            f"channel too lossy: {limit} emissions were not enough "
+            f"(blocks incomplete: {shadow.incomplete_blocks[:8]})")
+    manifest = codec.to_manifest(
+        version=__version__,
+        schedule=args.schedule,
+        file_name=pathlib.Path(args.input).name,
+        loss=args.loss,
+        packets_written=survivors,
+    )
+    (out_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    print(f"sent {channel.sent} packets across a {args.loss:.0%}-loss "
+          f"channel; {survivors} survivors in {out_dir / STREAM_NAME}")
+    print(f"{args.code} x {plan.num_blocks} blocks "
+          f"(k={plan.blocks[0].k}, tail k={plan.blocks[-1].k}), "
+          f"schedule={args.schedule}, "
+          f"reception overhead {survivors / codec.total_k - 1:+.1%}")
+    return 0
+
+
+def cmd_recv(args: argparse.Namespace) -> int:
+    from repro.transfer import ObjectCodec, TransferClient
+
+    in_dir = pathlib.Path(args.input)
+    manifest_path = in_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        print(f"error: no {MANIFEST_NAME} in {in_dir}", file=sys.stderr)
+        return 2
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("kind") != "transfer":
+        print(f"error: {in_dir} is not a transfer directory — "
+              "use `repro decode` for shard directories", file=sys.stderr)
+        return 2
+    codec = ObjectCodec.from_manifest(manifest)
+    block_aware = bool(manifest.get("block_header",
+                                    codec.num_blocks > 1))
+    header_size = 16 if block_aware else 12
+    record = header_size + manifest["packet_size"]
+    client = TransferClient(codec)
+    raw = (in_dir / STREAM_NAME).read_bytes()
+    if len(raw) % record:
+        raise ReproError(
+            f"{STREAM_NAME} is {len(raw)} bytes, not a multiple of the "
+            f"{record}-byte packet record — truncated or wrong manifest?")
+    used = 0
+    for off in range(0, len(raw), record):
+        packet = EncodingPacket.from_bytes(raw[off:off + record],
+                                           block_aware=block_aware)
+        used += 1
+        if client.receive(packet):
+            break
+    if not client.is_complete:
+        print(f"error: {used} packets were not enough — blocks "
+              f"{client.incomplete_blocks[:8]} incomplete; "
+              "re-send with more --extra packets", file=sys.stderr)
+        return 1
+    data = client.object_data()
+    pathlib.Path(args.output).write_bytes(data)
+    stats = client.stats()
+    print(f"reconstructed {manifest.get('file_name', args.output)} "
+          f"({len(data)} bytes) from {used} of {len(raw) // record} "
+          f"stream packets")
+    print(f"{codec.num_blocks} blocks complete; reception overhead "
+          f"{stats.reception_overhead:+.1%} "
+          f"(eta={stats.efficiency:.3f})")
+    return 0
+
+
 def cmd_lt_info(args: argparse.Namespace) -> int:
     code = _build_lt_code(args.k, args.seed, c=args.c, delta=args.delta)
     spike = robust_soliton_spike(args.k, c=args.c, delta=args.delta)
@@ -230,6 +354,37 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--k", type=int, required=True)
     info.add_argument("--seed", type=int, default=2024)
     info.set_defaults(func=cmd_info)
+
+    send = sub.add_parser(
+        "send",
+        help="block-segmented transfer: stream a file across a lossy "
+             "channel into a packet stream file")
+    send.add_argument("input", help="file to send")
+    send.add_argument("output", help="directory for stream.pkt + manifest")
+    send.add_argument("--code", default="tornado-b",
+                      choices=("tornado-a", "tornado-b", "lt", "rs"),
+                      help="per-block code family")
+    send.add_argument("--packet-size", type=int, default=1024)
+    send.add_argument("--block-size", type=int, default=256 * 1024,
+                      help="bytes per block (each block gets its own code)")
+    send.add_argument("--schedule", default="interleave",
+                      choices=("interleave", "sequential"),
+                      help="cross-block striping order")
+    send.add_argument("--loss", type=float, default=0.0,
+                      help="Bernoulli loss rate of the simulated channel")
+    send.add_argument("--loss-seed", type=int, default=None,
+                      help="channel seed (defaults to --seed + 1)")
+    send.add_argument("--extra", type=int, default=0,
+                      help="surviving packets to record beyond the "
+                           "decodable minimum (safety margin)")
+    send.add_argument("--seed", type=int, default=2024)
+    send.set_defaults(func=cmd_send)
+
+    recv = sub.add_parser(
+        "recv", help="reconstruct a file from a transfer stream directory")
+    recv.add_argument("input", help="directory holding stream.pkt + manifest")
+    recv.add_argument("output", help="path for the reconstructed file")
+    recv.set_defaults(func=cmd_recv)
 
     lt = sub.add_parser(
         "lt", help="rateless (LT) encode/decode/simulate — a true fountain")

@@ -58,7 +58,9 @@ def bytes_to_packets(data: bytes, packet_size: int,
     packets = buf.reshape(-1, packet_size)
     if itemsize == 1:
         return packets.copy()
-    return packets.copy().view(dtype).reshape(packets.shape[0], -1)
+    # Explicit column count: reshape(n, -1) cannot infer it for 0 rows.
+    return packets.copy().view(dtype).reshape(
+        packets.shape[0], packet_size // itemsize)
 
 
 def packets_to_bytes(packets: np.ndarray, length: Optional[int] = None) -> bytes:

@@ -22,9 +22,12 @@ carousel streams (Section 8's mirroring application).
 
 from repro.fountain.packets import (
     PacketHeader,
+    BlockHeader,
     EncodingPacket,
     HeaderSequencer,
     HEADER_SIZE,
+    BLOCK_HEADER_SIZE,
+    SERIAL_MODULUS,
 )
 from repro.fountain.carousel import CarouselServer
 from repro.fountain.rateless import RatelessServer
@@ -37,9 +40,12 @@ from repro.fountain.aggregate import (
 
 __all__ = [
     "PacketHeader",
+    "BlockHeader",
     "EncodingPacket",
     "HeaderSequencer",
     "HEADER_SIZE",
+    "BLOCK_HEADER_SIZE",
+    "SERIAL_MODULUS",
     "CarouselServer",
     "RatelessServer",
     "FountainClient",

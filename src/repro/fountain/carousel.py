@@ -44,14 +44,26 @@ class CarouselServer:
     seed:
         Seed for the default permutation.
     group:
-        Group number stamped into packet headers.
+        Group number stamped into packet headers (ignored when a shared
+        ``sequencer`` is supplied — the sequencer's group wins).
+    sequencer:
+        Optional shared :class:`HeaderSequencer`.  The per-block
+        sub-servers of a block-segmented transfer all stamp from one
+        sequencer so serials stay strictly monotone across the striped
+        stream; by default the server owns a private one.
+    block:
+        Block id for block-aware headers.  ``None`` (the default) keeps
+        the legacy 12-byte header — required for single-block streams,
+        which must stay byte-compatible.
     """
 
     def __init__(self, code: ErasureCode,
                  encoding: Optional[np.ndarray] = None,
                  order: Optional[Sequence[int]] = None,
                  seed: RngLike = 0,
-                 group: int = 0):
+                 group: int = 0,
+                 sequencer: Optional[HeaderSequencer] = None,
+                 block: Optional[int] = None):
         self.code = code
         self.encoding = encoding
         if encoding is not None and encoding.shape[0] != code.n:
@@ -65,8 +77,12 @@ class CarouselServer:
         else:
             rng = spawn_rng(seed, _PERMUTATION_STREAM)
             self.order = rng.permutation(code.n).astype(np.int64)
-        self.group = group
-        self._sequencer = HeaderSequencer(group=group)
+        self.block = block
+        self._owns_sequencer = sequencer is None
+        self._sequencer = (HeaderSequencer(group=group)
+                           if sequencer is None else sequencer)
+        self.group = self._sequencer.group
+        self._pos = 0
 
     @property
     def cycle_length(self) -> int:
@@ -91,11 +107,18 @@ class CarouselServer:
                 "construct with an encoding block")
         emitted = 0
         while count is None or emitted < count:
-            index = int(self.order[self._sequencer.serial % self.cycle_length])
-            header = self._sequencer.next_header(index)
+            index = int(self.order[self._pos % self.cycle_length])
+            header = self._sequencer.next_header(index, block=self.block)
+            self._pos += 1
             yield EncodingPacket(header=header, payload=self.encoding[index])
             emitted += 1
 
     def reset(self) -> None:
-        """Rewind the serial counter (a fresh session)."""
-        self._sequencer.reset()
+        """Rewind to the start of the cycle (a fresh session).
+
+        A *shared* sequencer is left untouched — its owner (the transfer
+        server) resets the whole striped stream.
+        """
+        self._pos = 0
+        if self._owns_sequencer:
+            self._sequencer.reset()

@@ -16,26 +16,48 @@ For a rateless (LT) stream the ``index`` field carries the *droplet id*
 — unbounded, never repeating — instead of a position in a finite
 encoding.  :class:`HeaderSequencer` owns the serial/group stamping all
 fountain servers share.
+
+Block-segmented transfers (:mod:`repro.transfer`) tag each packet with
+the block it encodes via :class:`BlockHeader`, a 16-byte extension that
+appends one uint32 ``block`` field directly after ``group``.  The first
+12 bytes of a :class:`BlockHeader` are byte-identical to the legacy
+header, and single-block streams keep emitting the plain 12-byte
+:class:`PacketHeader`, so legacy receivers and block-aware receivers
+agree whenever there is only one block.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ProtocolError
 
-#: Size of the packet header in bytes (three uint32 fields).
+#: Size of the legacy packet header in bytes (three uint32 fields).
 HEADER_SIZE = 12
 
+#: Size of the block-aware header variant (legacy fields + uint32 block).
+BLOCK_HEADER_SIZE = 16
+
+#: Exclusive upper bound of every uint32 header field.
+SERIAL_MODULUS = 2 ** 32
+
 _HEADER_STRUCT = struct.Struct(">III")
+_BLOCK_STRUCT = struct.Struct(">IIII")
+
+
+def _check_uint32(name: str, value: int) -> None:
+    if not 0 <= value < SERIAL_MODULUS:
+        raise ProtocolError(
+            f"header field {name}={value} outside uint32 range")
 
 
 @dataclass(frozen=True)
 class PacketHeader:
-    """The 12-byte header tag of every encoding packet."""
+    """The legacy 12-byte header tag of every encoding packet."""
 
     index: int
     serial: int
@@ -43,10 +65,16 @@ class PacketHeader:
 
     def __post_init__(self) -> None:
         for field in ("index", "serial", "group"):
-            value = getattr(self, field)
-            if not 0 <= value < 2 ** 32:
-                raise ProtocolError(
-                    f"header field {field}={value} outside uint32 range")
+            _check_uint32(field, getattr(self, field))
+
+    @property
+    def block(self) -> int:
+        """Block id of a legacy header: always 0 (a single-block stream)."""
+        return 0
+
+    @property
+    def header_size(self) -> int:
+        return HEADER_SIZE
 
     def pack(self) -> bytes:
         """Serialise to the 12-byte wire format."""
@@ -62,6 +90,52 @@ class PacketHeader:
         return cls(index=index, serial=serial, group=group)
 
 
+@dataclass(frozen=True)
+class BlockHeader:
+    """The 16-byte block-aware header variant.
+
+    Identical to :class:`PacketHeader` for its first 12 bytes; the
+    trailing uint32 carries the block id, so ``(block, index)`` names an
+    encoding packet of a segmented object.  Multi-block streams must use
+    this variant; single-block streams stay on the byte-compatible
+    legacy header.
+    """
+
+    index: int
+    serial: int
+    group: int = 0
+    block: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("index", "serial", "group", "block"):
+            _check_uint32(field, getattr(self, field))
+
+    @property
+    def header_size(self) -> int:
+        return BLOCK_HEADER_SIZE
+
+    def pack(self) -> bytes:
+        """Serialise to the 16-byte wire format (legacy prefix + block)."""
+        return _BLOCK_STRUCT.pack(self.index, self.serial, self.group,
+                                  self.block)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "BlockHeader":
+        """Parse the leading 16 bytes of ``data``."""
+        if len(data) < BLOCK_HEADER_SIZE:
+            raise ProtocolError(
+                f"block header needs {BLOCK_HEADER_SIZE} bytes, "
+                f"got {len(data)}")
+        index, serial, group, block = _BLOCK_STRUCT.unpack(
+            data[:BLOCK_HEADER_SIZE])
+        return cls(index=index, serial=serial, group=group, block=block)
+
+    def legacy(self) -> PacketHeader:
+        """The byte-compatible 12-byte view (drops the block id)."""
+        return PacketHeader(index=self.index, serial=self.serial,
+                            group=self.group)
+
+
 class HeaderSequencer:
     """Stamps consecutive transmission serials into packet headers.
 
@@ -73,11 +147,22 @@ class HeaderSequencer:
     packet gets the next serial number and the server's group tag.
     Servers own *which* encoding index goes out next; this owns the
     header around it.
+
+    One sequencer may be *shared* by several servers (the per-block
+    sub-servers of a :class:`~repro.transfer.server.TransferServer`),
+    which keeps serials strictly monotone across the whole striped
+    stream.  Serials are transmission counters, not identifiers, so on
+    reaching ``2**32`` they wrap to 0 — receivers use serial *gaps* to
+    estimate loss and a once-per-4-billion-packets wrap never looks
+    like loss at any plausible window size.
     """
 
     def __init__(self, group: int = 0, start_serial: int = 0):
-        if not 0 <= group < 2 ** 32:
+        if not 0 <= group < SERIAL_MODULUS:
             raise ProtocolError(f"group {group} outside uint32 range")
+        if not 0 <= start_serial < SERIAL_MODULUS:
+            raise ProtocolError(
+                f"start_serial {start_serial} outside uint32 range")
         self.group = group
         self._start_serial = start_serial
         self._serial = start_serial
@@ -87,11 +172,21 @@ class HeaderSequencer:
         """The serial the next emitted packet will carry."""
         return self._serial
 
-    def next_header(self, index: int) -> PacketHeader:
-        """The header for encoding packet ``index``; advances the serial."""
-        header = PacketHeader(index=index, serial=self._serial,
-                              group=self.group)
-        self._serial += 1
+    def next_header(self, index: int, block: Optional[int] = None
+                    ) -> "PacketHeader | BlockHeader":
+        """The header for encoding packet ``index``; advances the serial.
+
+        With ``block=None`` (single-block streams) this emits the legacy
+        12-byte :class:`PacketHeader`; otherwise the 16-byte
+        :class:`BlockHeader` stamped with the block id.
+        """
+        if block is None:
+            header = PacketHeader(index=index, serial=self._serial,
+                                  group=self.group)
+        else:
+            header = BlockHeader(index=index, serial=self._serial,
+                                 group=self.group, block=block)
+        self._serial = (self._serial + 1) % SERIAL_MODULUS
         return header
 
     def reset(self) -> None:
@@ -101,9 +196,9 @@ class HeaderSequencer:
 
 @dataclass(frozen=True)
 class EncodingPacket:
-    """A header plus its fixed-length payload."""
+    """A header (legacy or block-aware) plus its fixed-length payload."""
 
-    header: PacketHeader
+    header: "PacketHeader | BlockHeader"
     payload: np.ndarray
 
     @property
@@ -111,9 +206,14 @@ class EncodingPacket:
         return self.header.index
 
     @property
+    def block(self) -> int:
+        """Block id this packet encodes (0 on a legacy header)."""
+        return self.header.block
+
+    @property
     def wire_size(self) -> int:
         """Total bytes on the wire (header + payload)."""
-        return HEADER_SIZE + int(np.asarray(self.payload).nbytes)
+        return self.header.header_size + int(np.asarray(self.payload).nbytes)
 
     def to_bytes(self) -> bytes:
         """Serialise header and payload."""
@@ -121,8 +221,19 @@ class EncodingPacket:
             self.payload).tobytes()
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "EncodingPacket":
-        """Parse a packet serialised by :meth:`to_bytes`."""
-        header = PacketHeader.unpack(data)
-        payload = np.frombuffer(data[HEADER_SIZE:], dtype=np.uint8).copy()
+    def from_bytes(cls, data: bytes,
+                   block_aware: bool = False) -> "EncodingPacket":
+        """Parse a packet serialised by :meth:`to_bytes`.
+
+        The wire format is not self-describing (the paper's header has
+        no version field), so the caller must know whether the stream
+        carries legacy 12-byte or block-aware 16-byte headers — the
+        transfer manifest records which.
+        """
+        if block_aware:
+            header: "PacketHeader | BlockHeader" = BlockHeader.unpack(data)
+        else:
+            header = PacketHeader.unpack(data)
+        payload = np.frombuffer(data[header.header_size:],
+                                dtype=np.uint8).copy()
         return cls(header=header, payload=payload)

@@ -7,16 +7,32 @@ encoding packets, and a client could reconstruct the source data from
 :class:`~repro.fountain.carousel.CarouselServer` cycles a fixed
 ``n``-packet encoding (the paper's carousel approximation, with its
 stretch-factor ceiling and wrap-around duplicates), the rateless server
-walks droplet ids ``start, start+1, start+2, ...`` forever, XORing each
+walks droplet ids ``start, start+1, start+2, ...``, XORing each
 droplet's payload on demand; no two packets it emits are ever
 duplicates, so the receiver's distinctness efficiency is always 1.
 
-Both servers emit the same 12-byte-header
+Both servers emit the same
 :class:`~repro.fountain.packets.EncodingPacket` wire format through the
 shared :class:`~repro.fountain.packets.HeaderSequencer` — for a rateless
-stream the ``index`` field carries the droplet id.  Mirrors running the
-same code should use disjoint id ranges (e.g. ``start=m * 2**24`` for
-mirror ``m``) so that aggregation stays duplicate-free too.
+stream the header's ``index`` field carries the droplet id.
+
+Droplet-id ranges
+-----------------
+
+The header's ``index`` field is a uint32, so droplet ids live in
+``[0, 2**32)`` even though the stream is conceptually endless.  Each
+server owns an explicit contiguous *id range* ``[start, start +
+id_range)``:
+
+* Mirrors running the same code must use **disjoint ranges** (e.g.
+  ``start=m * 2**24, id_range=2**24`` for mirror ``m``) so aggregated
+  reception stays duplicate-free (Section 8).
+* On exhausting its range a server **fails fast** with a
+  :class:`~repro.errors.ProtocolError` by default — at one droplet per
+  packet that takes 4 billion packets from a full-range server, but a
+  narrow mirror slice can hit it — or, with ``wrap=True``, cycles back
+  to ``start``; receivers then see repeats and distinctness efficiency
+  drops below 1, exactly like a carousel.
 """
 
 from __future__ import annotations
@@ -26,8 +42,12 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.codes.lt.code import LTCode
-from repro.errors import ParameterError
-from repro.fountain.packets import EncodingPacket, HeaderSequencer
+from repro.errors import ParameterError, ProtocolError
+from repro.fountain.packets import (
+    SERIAL_MODULUS,
+    EncodingPacket,
+    HeaderSequencer,
+)
 
 
 class RatelessServer:
@@ -45,34 +65,94 @@ class RatelessServer:
     start:
         First droplet id to emit.  Give each mirror its own range.
     group:
-        Group number stamped into packet headers.
+        Group number stamped into packet headers (ignored when a shared
+        ``sequencer`` is supplied — the sequencer's group wins).
+    id_range:
+        Number of droplet ids this server may use, i.e. ids
+        ``[start, start + id_range)``.  Defaults to all remaining uint32
+        headroom, ``2**32 - start``.
+    wrap:
+        What to do when the id range is exhausted: ``False`` (default)
+        raises :class:`~repro.errors.ProtocolError` with a clear
+        message; ``True`` wraps back to ``start`` and re-emits the same
+        droplets (documented duplicate cost).
+    sequencer:
+        Optional shared :class:`HeaderSequencer` (see
+        :class:`~repro.fountain.carousel.CarouselServer`).
+    block:
+        Block id for block-aware headers; ``None`` keeps the legacy
+        12-byte header.
     """
 
     def __init__(self, code: LTCode,
                  source: Optional[np.ndarray] = None,
                  start: int = 0,
-                 group: int = 0):
-        if start < 0:
-            raise ParameterError("start droplet id must be >= 0")
+                 group: int = 0,
+                 id_range: Optional[int] = None,
+                 wrap: bool = False,
+                 sequencer: Optional[HeaderSequencer] = None,
+                 block: Optional[int] = None):
+        if not 0 <= start < SERIAL_MODULUS:
+            raise ParameterError(
+                f"start droplet id {start} outside uint32 range")
+        if id_range is None:
+            id_range = SERIAL_MODULUS - start
+        if id_range <= 0:
+            raise ParameterError("id_range must be positive")
+        if start + id_range > SERIAL_MODULUS:
+            raise ParameterError(
+                f"id range [{start}, {start + id_range}) overflows the "
+                f"uint32 header index; keep start + id_range <= 2**32")
         self.code = code
         self.encoder = None if source is None else code.encoder(source)
         self.start = int(start)
-        self.group = group
-        self._sequencer = HeaderSequencer(group=group)
+        self.id_range = int(id_range)
+        self.wrap = bool(wrap)
+        self.block = block
+        self._owns_sequencer = sequencer is None
+        self._sequencer = (HeaderSequencer(group=group)
+                           if sequencer is None else sequencer)
+        self.group = self._sequencer.group
+        self._emitted = 0
+
+    @property
+    def ids_remaining(self) -> int:
+        """Droplet ids left before the range is exhausted (or wraps)."""
+        if self.wrap:
+            return self.id_range
+        return max(0, self.id_range - self._emitted)
 
     @property
     def next_droplet_id(self) -> int:
-        """The droplet id the next emitted packet will carry."""
-        return self.start + self._sequencer.serial
+        """The droplet id the next emitted packet will carry.
+
+        Raises :class:`~repro.errors.ProtocolError` once a non-wrapping
+        server has exhausted its id range.
+        """
+        if self._emitted >= self.id_range:
+            if not self.wrap:
+                raise ProtocolError(
+                    f"droplet id range exhausted: server emitted all "
+                    f"{self.id_range} ids in [{self.start}, "
+                    f"{self.start + self.id_range}); give mirrors disjoint "
+                    f"ranges with more headroom, or pass wrap=True to "
+                    f"cycle (receivers will then see duplicate droplets)")
+            return self.start + self._emitted % self.id_range
+        return self.start + self._emitted
 
     def index_stream(self, count: int) -> np.ndarray:
         """The next ``count`` droplet ids (no packet objects).
 
-        Stateless with respect to the serial counter: slot ``t`` always
-        carries droplet ``start + t``, so simulations can regenerate any
-        window of the stream.
+        Stateless with respect to the emission counter: slot ``t``
+        always carries droplet ``start + (t % id_range)``, so
+        simulations can regenerate any window of the stream.  A
+        non-wrapping server refuses windows longer than its id range.
         """
-        return self.start + np.arange(count, dtype=np.int64)
+        if not self.wrap and count > self.id_range:
+            raise ProtocolError(
+                f"index stream of {count} exceeds the server's id range "
+                f"of {self.id_range}; widen the range or pass wrap=True")
+        return self.start + (np.arange(count, dtype=np.int64) % self.id_range)
 
     def packets(self, count: Optional[int] = None) -> Iterator[EncodingPacket]:
         """Yield the next ``count`` packets (infinite when ``None``)."""
@@ -83,12 +163,19 @@ class RatelessServer:
         emitted = 0
         while count is None or emitted < count:
             droplet_id = self.next_droplet_id
-            header = self._sequencer.next_header(droplet_id)
+            header = self._sequencer.next_header(droplet_id, block=self.block)
+            self._emitted += 1
             yield EncodingPacket(
                 header=header,
                 payload=self.encoder.droplet_payload(droplet_id))
             emitted += 1
 
     def reset(self) -> None:
-        """Rewind the stream to its starting droplet (a fresh session)."""
-        self._sequencer.reset()
+        """Rewind the stream to its starting droplet (a fresh session).
+
+        A *shared* sequencer is left untouched — its owner (the transfer
+        server) resets the whole striped stream.
+        """
+        self._emitted = 0
+        if self._owns_sequencer:
+            self._sequencer.reset()

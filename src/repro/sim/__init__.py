@@ -10,6 +10,8 @@
 * :mod:`repro.sim.speedup` — the Table 4 decoding-speedup derivation.
 * :mod:`repro.sim.timemodel` — machine-local cost calibration for the
   timing tables.
+* :mod:`repro.sim.transfer` — block-segmented file transfer under loss
+  (interleaved vs. sequential cross-block schedules).
 """
 
 from repro.sim.overhead import (
@@ -31,6 +33,11 @@ from repro.sim.receivers import (
 from repro.sim.tracesim import trace_experiment
 from repro.sim.speedup import max_blocks_within_overhead, speedup_table_entry
 from repro.sim.timemodel import TimingModel
+from repro.sim.transfer import (
+    TransferRunResult,
+    compare_schedules,
+    simulate_transfer,
+)
 
 __all__ = [
     "ThresholdPool",
@@ -47,4 +54,7 @@ __all__ = [
     "max_blocks_within_overhead",
     "speedup_table_entry",
     "TimingModel",
+    "TransferRunResult",
+    "simulate_transfer",
+    "compare_schedules",
 ]

@@ -1,0 +1,61 @@
+"""Block-segmented bulk transfer: one object, many blocks, one stream.
+
+The paper's motivating workload is multi-gigabyte software distribution,
+yet a single erasure code over a whole file would grow decoder state
+with the object.  This subsystem is the production shape of fountain
+delivery: :class:`~repro.transfer.blocks.BlockPlan` partitions the
+object into independently coded blocks (uneven tail handled exactly),
+:class:`~repro.transfer.codec.ObjectCodec` instantiates a per-block code
+(Tornado, LT, or Reed-Solomon through the existing duck types),
+:class:`~repro.transfer.server.TransferServer` stripes the per-block
+fountain streams under a pluggable cross-block schedule
+(:mod:`repro.transfer.schedule`), and
+:class:`~repro.transfer.client.TransferClient` routes packets to
+per-block incremental decoders and reassembles the exact original
+bytes.
+
+End to end::
+
+    from repro.transfer import BlockPlan, ObjectCodec
+    from repro.transfer import TransferServer, TransferClient
+
+    plan = BlockPlan(len(data), packet_size=1024, block_packets=256)
+    codec = ObjectCodec(plan, family="tornado-b", seed=7)
+    server = TransferServer(codec, data)
+    client = TransferClient(codec)
+    for packet in server.packets():        # a lossy channel goes here
+        if client.receive(packet):
+            break
+    assert client.object_data() == data
+
+The CLI surface is ``python -m repro send`` / ``python -m repro recv``.
+"""
+
+from repro.transfer.blocks import BlockPlan, BlockSpec
+from repro.transfer.codec import (
+    CODE_FAMILIES,
+    ObjectCodec,
+    block_seed,
+)
+from repro.transfer.schedule import (
+    SCHEDULES,
+    interleaved_slots,
+    make_schedule,
+    sequential_slots,
+)
+from repro.transfer.server import TransferServer
+from repro.transfer.client import TransferClient
+
+__all__ = [
+    "BlockPlan",
+    "BlockSpec",
+    "ObjectCodec",
+    "CODE_FAMILIES",
+    "block_seed",
+    "SCHEDULES",
+    "interleaved_slots",
+    "sequential_slots",
+    "make_schedule",
+    "TransferServer",
+    "TransferClient",
+]

@@ -1,0 +1,151 @@
+"""Partitioning one large object into independently coded blocks.
+
+The paper's subject is *bulk* data — gigabyte objects pushed to millions
+of receivers — but a single erasure code over the whole object would
+make decoder state (and, for quadratic-cost codes, decode time) scale
+with the file.  Production fountain systems therefore segment the
+object: a :class:`BlockPlan` cuts the file into fixed-size blocks of
+``block_packets`` packets each (the tail block is smaller when the file
+does not divide evenly), and every block gets its own small code whose
+decode working set stays in cache.  Cross-block *scheduling* — how a
+server stripes packets over the blocks — lives in
+:mod:`repro.transfer.schedule`.
+
+All byte/packet accounting is here: block byte offsets and lengths are
+exact, the final packet of the tail block is zero-padded up to
+``packet_size``, and :meth:`BlockPlan.reassemble` strips that padding so
+the reconstructed object is byte-identical to the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.codes.base import bytes_to_packets, packets_to_bytes
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One block of the segmented object: its bytes and packet count."""
+
+    block: int
+    byte_offset: int
+    byte_length: int
+    k: int
+
+    @property
+    def byte_end(self) -> int:
+        return self.byte_offset + self.byte_length
+
+
+class BlockPlan:
+    """How an object of ``file_size`` bytes maps onto coded blocks.
+
+    Parameters
+    ----------
+    file_size:
+        Exact object length in bytes (must be positive).
+    packet_size:
+        Payload bytes per packet.
+    block_packets:
+        Source packets per block (the per-block ``k``).  Every block has
+        exactly this many packets except possibly the last, which takes
+        the remainder — the *uneven tail*.
+    """
+
+    def __init__(self, file_size: int, packet_size: int, block_packets: int):
+        if file_size <= 0:
+            raise ParameterError("cannot plan a transfer of 0 bytes")
+        if packet_size <= 0:
+            raise ParameterError("packet_size must be positive")
+        if block_packets <= 0:
+            raise ParameterError("block_packets must be positive")
+        self.file_size = int(file_size)
+        self.packet_size = int(packet_size)
+        self.block_packets = int(block_packets)
+        self.total_packets = -(-self.file_size // self.packet_size)
+        block_bytes = self.block_packets * self.packet_size
+        specs: List[BlockSpec] = []
+        offset = 0
+        while offset < self.file_size:
+            length = min(block_bytes, self.file_size - offset)
+            specs.append(BlockSpec(
+                block=len(specs),
+                byte_offset=offset,
+                byte_length=length,
+                k=-(-length // self.packet_size),
+            ))
+            offset += length
+        self.blocks = tuple(specs)
+
+    @classmethod
+    def from_block_size(cls, file_size: int, packet_size: int,
+                        block_size: int) -> "BlockPlan":
+        """Plan with blocks of (at most) ``block_size`` bytes."""
+        if block_size < packet_size:
+            raise ParameterError(
+                f"block_size {block_size} smaller than one packet "
+                f"({packet_size} B)")
+        return cls(file_size, packet_size, block_size // packet_size)
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def block_ks(self) -> List[int]:
+        """Per-block source packet counts (the schedule weights)."""
+        return [spec.k for spec in self.blocks]
+
+    def spec(self, block: int) -> BlockSpec:
+        if not 0 <= block < self.num_blocks:
+            raise ParameterError(
+                f"no block {block} in a {self.num_blocks}-block plan")
+        return self.blocks[block]
+
+    # -- byte <-> packet-block conversion --------------------------------------
+
+    def slice_bytes(self, data: bytes, block: int) -> bytes:
+        """The exact byte range of ``block`` within the object."""
+        spec = self.spec(block)
+        if len(data) != self.file_size:
+            raise ParameterError(
+                f"object is {len(data)} bytes, plan covers {self.file_size}")
+        return data[spec.byte_offset:spec.byte_end]
+
+    def source_block(self, data: bytes, block: int) -> np.ndarray:
+        """The ``(k, packet_size)`` source array of ``block`` (tail padded)."""
+        return bytes_to_packets(self.slice_bytes(data, block),
+                                self.packet_size)
+
+    def reassemble(self, sources: Sequence[np.ndarray]) -> bytes:
+        """Concatenate per-block source arrays back into the exact object.
+
+        ``sources[b]`` is block ``b``'s decoded ``(k, packet_size)``
+        array; the tail block's zero padding is stripped via the plan's
+        recorded byte lengths.
+        """
+        if len(sources) != self.num_blocks:
+            raise ParameterError(
+                f"got {len(sources)} blocks, plan has {self.num_blocks}")
+        parts = []
+        for spec, source in zip(self.blocks, sources):
+            if source.shape[0] != spec.k:
+                raise ParameterError(
+                    f"block {spec.block} has {source.shape[0]} packets, "
+                    f"plan expects {spec.k}")
+            parts.append(packets_to_bytes(source, spec.byte_length))
+        return b"".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tail = self.blocks[-1].k
+        tail_note = "" if tail == self.block_packets else f", tail_k={tail}"
+        return (f"BlockPlan(file_size={self.file_size}, "
+                f"packet_size={self.packet_size}, "
+                f"blocks={self.num_blocks}x{self.block_packets}{tail_note})")

@@ -1,0 +1,169 @@
+"""Binding a :class:`BlockPlan` to one erasure code per block.
+
+An :class:`ObjectCodec` instantiates a code for every block of the plan
+through the existing duck types — anything exposing the
+``ErasureCode``/``new_decoder`` surface works, so the per-block code can
+be Tornado (A or B presets), a rateless LT code, or plain Reed-Solomon.
+Codes are built lazily and cached: a receiver that only needs block 17
+never pays for the other blocks' graph construction.
+
+Per-block seeds are derived from one shared transfer seed with a
+golden-ratio mix (:func:`block_seed`), so sender and receiver agree on
+every block's code graph / droplet spec from a single integer in the
+manifest, and no two blocks share a graph.
+
+:meth:`ObjectCodec.to_manifest` / :meth:`ObjectCodec.from_manifest`
+round-trip everything a receiver needs through a plain JSON-able dict —
+the transfer layer's "length manifest" (exact file size, packet size,
+block geometry, code family, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.codes.lt import LTCode, robust_soliton
+from repro.codes.reed_solomon import cauchy_code
+from repro.codes.tornado.presets import TORNADO_PRESETS
+from repro.errors import ParameterError, ProtocolError
+from repro.transfer.blocks import BlockPlan
+
+#: 2**32 / golden ratio, the classic Fibonacci-hashing multiplier.
+_GOLDEN = 0x9E3779B1
+
+
+def block_seed(seed: int, block: int) -> int:
+    """A per-block seed derived from one shared transfer seed.
+
+    Distinct for every ``(seed, block)`` pair a transfer can hold, and
+    computable independently by sender and receiver.
+    """
+    return (int(seed) * _GOLDEN + int(block)) % 2 ** 32
+
+
+def _tornado_factory(preset: str) -> Callable:
+    factory = TORNADO_PRESETS[preset]
+
+    def build(k: int, seed: int):
+        return factory(k, seed=seed)
+
+    return build
+
+
+def _lt_factory(k: int, seed: int) -> LTCode:
+    return LTCode(k, degree_dist=robust_soliton(k), seed=seed)
+
+
+def _rs_factory(k: int, seed: int):
+    # Cauchy RS is deterministic; the seed is irrelevant but accepted so
+    # every family shares one constructor signature.
+    return cauchy_code(k)
+
+
+#: family name -> ``build(k, seed)`` constructor for one block's code.
+CODE_FAMILIES: Dict[str, Callable] = {
+    "tornado-a": _tornado_factory("tornado-a"),
+    "tornado-b": _tornado_factory("tornado-b"),
+    "lt": _lt_factory,
+    "rs": _rs_factory,
+}
+
+#: families with no fixed ``n`` (served rateless, not by carousel).
+RATELESS_FAMILIES = frozenset({"lt"})
+
+
+class ObjectCodec:
+    """One object, many blocks, one code per block.
+
+    Parameters
+    ----------
+    plan:
+        The block geometry (see :class:`~repro.transfer.blocks.BlockPlan`).
+    family:
+        Per-block code family, a key of :data:`CODE_FAMILIES`.
+    seed:
+        Shared transfer seed; block ``b`` uses ``block_seed(seed, b)``.
+    """
+
+    def __init__(self, plan: BlockPlan, family: str = "tornado-b",
+                 seed: int = 2024):
+        if family not in CODE_FAMILIES:
+            raise ParameterError(
+                f"unknown code family {family!r}; "
+                f"choose from {sorted(CODE_FAMILIES)}")
+        self.plan = plan
+        self.family = family
+        self.seed = int(seed)
+        self._codes: Dict[int, object] = {}
+
+    @property
+    def is_rateless(self) -> bool:
+        """True when blocks are served as unbounded droplet streams."""
+        return self.family in RATELESS_FAMILIES
+
+    @property
+    def num_blocks(self) -> int:
+        return self.plan.num_blocks
+
+    @property
+    def total_k(self) -> int:
+        """Source packets across all blocks (= the plan's total)."""
+        return self.plan.total_packets
+
+    def code_for(self, block: int):
+        """The (cached) erasure code of ``block``."""
+        if block not in self._codes:
+            spec = self.plan.spec(block)
+            self._codes[block] = CODE_FAMILIES[self.family](
+                spec.k, block_seed(self.seed, block))
+        return self._codes[block]
+
+    def source_block(self, data: bytes, block: int) -> np.ndarray:
+        """Block ``block``'s ``(k, P)`` source array of ``data``."""
+        return self.plan.source_block(data, block)
+
+    def encode_block(self, data: bytes, block: int) -> np.ndarray:
+        """The ``(n, P)`` encoding of one block (fixed-rate families)."""
+        if self.is_rateless:
+            raise ParameterError(
+                f"{self.family} is rateless — there is no finite encoding; "
+                "serve the block through a RatelessServer instead")
+        return self.code_for(block).encode(self.source_block(data, block))
+
+    # -- manifest round-trip ---------------------------------------------------
+
+    def to_manifest(self, **extra) -> dict:
+        """A JSON-able dict from which a receiver rebuilds this codec."""
+        manifest = {
+            "kind": "transfer",
+            "code": self.family,
+            "seed": self.seed,
+            "file_size": self.plan.file_size,
+            "packet_size": self.plan.packet_size,
+            "block_packets": self.plan.block_packets,
+            "num_blocks": self.plan.num_blocks,
+            "block_header": self.plan.num_blocks > 1,
+        }
+        manifest.update(extra)
+        return manifest
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "ObjectCodec":
+        """Rebuild the sender's codec from its manifest dict."""
+        if manifest.get("kind") != "transfer":
+            raise ProtocolError(
+                f"not a transfer manifest (kind={manifest.get('kind')!r})")
+        plan = BlockPlan(manifest["file_size"], manifest["packet_size"],
+                         manifest["block_packets"])
+        if plan.num_blocks != manifest.get("num_blocks", plan.num_blocks):
+            raise ProtocolError(
+                f"manifest claims {manifest['num_blocks']} blocks but the "
+                f"geometry yields {plan.num_blocks}")
+        return cls(plan, family=manifest["code"], seed=manifest["seed"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ObjectCodec(family={self.family!r}, "
+                f"blocks={self.num_blocks}, total_k={self.total_k}, "
+                f"seed={self.seed})")

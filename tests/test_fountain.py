@@ -5,13 +5,22 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.codes.base import bytes_to_packets, packets_to_bytes
+from repro.codes.lt import LTCode
 from repro.codes.reed_solomon import cauchy_code
 from repro.codes.tornado.presets import tornado_a
 from repro.errors import DecodeFailure, ParameterError, ProtocolError
 from repro.fountain.carousel import CarouselServer
 from repro.fountain.client import ClientMode, FountainClient
 from repro.fountain.metrics import ReceptionStats
-from repro.fountain.packets import HEADER_SIZE, EncodingPacket, PacketHeader
+from repro.fountain.packets import (
+    HEADER_SIZE,
+    SERIAL_MODULUS,
+    EncodingPacket,
+    HeaderSequencer,
+    PacketHeader,
+)
+from repro.fountain.rateless import RatelessServer
 
 
 class TestPackets:
@@ -142,6 +151,145 @@ class TestClient:
                 break
         assert client.distinct_received == code.k  # MDS: exactly k
         assert np.array_equal(client.source_data(), src)
+
+
+class TestBytesPacketsRoundtrip:
+    @given(length=st.integers(0, 4000),
+           packet_size=st.integers(1, 257))
+    @settings(max_examples=80)
+    def test_uint8_roundtrip(self, length, packet_size):
+        data = bytes((i * 31 + 7) % 256 for i in range(length))
+        packets = bytes_to_packets(data, packet_size)
+        assert packets.shape == (-(-length // packet_size), packet_size)
+        assert packets_to_bytes(packets, length) == data
+
+    @given(length=st.integers(0, 2000),
+           packet_words=st.integers(1, 64))
+    @settings(max_examples=60)
+    def test_uint16_roundtrip(self, length, packet_words):
+        data = bytes((i * 17 + 3) % 256 for i in range(length))
+        packet_size = 2 * packet_words
+        packets = bytes_to_packets(data, packet_size, dtype=np.uint16)
+        assert packets.dtype == np.uint16
+        assert packets.shape == (-(-length // packet_size), packet_words)
+        assert packets_to_bytes(packets, length) == data
+
+    def test_zero_length_input(self):
+        packets = bytes_to_packets(b"", 64)
+        assert packets.shape == (0, 64)
+        assert packets_to_bytes(packets, 0) == b""
+
+    def test_odd_length_pads_tail_with_zeros(self):
+        packets = bytes_to_packets(b"\xff" * 5, 4)
+        assert packets.shape == (2, 4)
+        assert packets[1].tolist() == [255, 0, 0, 0]
+
+    def test_odd_packet_size_rejected_for_uint16(self):
+        with pytest.raises(ParameterError):
+            bytes_to_packets(b"abc", 3, dtype=np.uint16)
+
+
+class TestHeaderSequencer:
+    def _tiny_rateless(self, **kwargs):
+        code = LTCode(8, seed=0)
+        src = np.zeros((8, 4), dtype=np.uint8)
+        return RatelessServer(code, src, **kwargs)
+
+    def test_shared_across_carousel_and_rateless(self):
+        """One sequencer, two server shapes: serials stay strictly
+        monotone across the merged stream and every header carries the
+        sequencer's group."""
+        sequencer = HeaderSequencer(group=3)
+        code = cauchy_code(8)
+        enc = code.encode(np.zeros((8, 4), dtype=np.uint8))
+        carousel = CarouselServer(code, enc, seed=1, sequencer=sequencer)
+        rateless = self._tiny_rateless(sequencer=sequencer)
+        merged = []
+        streams = (carousel.packets(), rateless.packets())
+        for _ in range(6):
+            for stream in streams:
+                merged.append(next(stream))
+        assert [p.header.serial for p in merged] == list(range(12))
+        assert all(p.header.group == 3 for p in merged)
+        # each server still walks its own index sequence
+        assert [p.index for p in merged[1::2]] == list(range(6))
+
+    def test_shared_sequencer_not_reset_by_server(self):
+        sequencer = HeaderSequencer(group=0)
+        code = cauchy_code(4)
+        enc = code.encode(np.zeros((4, 2), dtype=np.uint8))
+        server = CarouselServer(code, enc, seed=2, sequencer=sequencer)
+        list(server.packets(3))
+        server.reset()
+        assert sequencer.serial == 3  # owner resets it, not the server
+        assert next(server.packets(1)).header.serial == 3
+
+    def test_serial_wraparound(self):
+        sequencer = HeaderSequencer(group=0,
+                                    start_serial=SERIAL_MODULUS - 2)
+        serials = [sequencer.next_header(0).serial for _ in range(4)]
+        assert serials == [SERIAL_MODULUS - 2, SERIAL_MODULUS - 1, 0, 1]
+
+    def test_start_serial_range_checked(self):
+        with pytest.raises(ProtocolError):
+            HeaderSequencer(start_serial=SERIAL_MODULUS)
+        with pytest.raises(ProtocolError):
+            HeaderSequencer(group=SERIAL_MODULUS)
+
+
+class TestRatelessIdRange:
+    def _server(self, **kwargs):
+        code = LTCode(8, seed=0)
+        src = np.zeros((8, 4), dtype=np.uint8)
+        return RatelessServer(code, src, **kwargs)
+
+    def test_exhaustion_fails_fast_with_clear_error(self):
+        """Regression: droplet ids used to walk straight past the uint32
+        header ceiling and die inside PacketHeader."""
+        server = self._server(start=100, id_range=3)
+        assert [p.index for p in server.packets(3)] == [100, 101, 102]
+        with pytest.raises(ProtocolError, match="droplet id range exhausted"):
+            next(server.packets(1))
+
+    def test_header_ceiling_fails_before_overflow(self):
+        server = self._server(start=SERIAL_MODULUS - 2)
+        assert server.id_range == 2
+        packets = list(server.packets(2))
+        assert [p.index for p in packets] == [SERIAL_MODULUS - 2,
+                                              SERIAL_MODULUS - 1]
+        with pytest.raises(ProtocolError):
+            next(server.packets(1))
+
+    def test_range_overflowing_uint32_rejected_at_construction(self):
+        with pytest.raises(ParameterError):
+            self._server(start=SERIAL_MODULUS - 2, id_range=3)
+        with pytest.raises(ParameterError):
+            self._server(start=SERIAL_MODULUS)
+        with pytest.raises(ParameterError):
+            self._server(id_range=0)
+
+    def test_wrap_cycles_back_to_start(self):
+        server = self._server(start=50, id_range=4, wrap=True)
+        ids = [p.index for p in server.packets(10)]
+        assert ids == [50, 51, 52, 53] * 2 + [50, 51]
+        assert server.ids_remaining == 4  # a wrapping server never runs dry
+
+    def test_index_stream_respects_range(self):
+        server = self._server(start=10, id_range=5)
+        assert server.index_stream(5).tolist() == [10, 11, 12, 13, 14]
+        with pytest.raises(ProtocolError):
+            server.index_stream(6)
+        wrapping = self._server(start=10, id_range=5, wrap=True)
+        assert wrapping.index_stream(7).tolist() == [10, 11, 12, 13, 14,
+                                                     10, 11]
+
+    def test_ids_remaining_counts_down(self):
+        server = self._server(start=0, id_range=10)
+        assert server.ids_remaining == 10
+        list(server.packets(4))
+        assert server.ids_remaining == 6
+        server.reset()
+        assert server.ids_remaining == 10
 
 
 class TestReceptionStats:
