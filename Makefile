@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-transfer docs-check all
+.PHONY: test bench-smoke bench-transfer docs-check typecheck all
 
-all: test docs-check
+all: test docs-check typecheck
 
 # Tier-1: the full test suite (the bar every change must clear).
 test:
@@ -26,3 +26,15 @@ bench-transfer:
 # Fails if any ```python block in the docs does not run as written.
 docs-check:
 	$(PYTHON) tools/check_docs.py README.md
+
+# mypy over the typed core: the registry protocols, the repro.api
+# facade, and the protocol layer that consumes them (config: mypy.ini).
+# Skips gracefully when mypy is not installed (the library itself has
+# no dependency on it); CI installs mypy and runs this for real.
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/api.py src/repro/codes/registry.py \
+			src/repro/protocol; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install mypy)"; \
+	fi

@@ -7,7 +7,16 @@ together with every baseline the paper measures (Vandermonde and Cauchy
 Reed-Solomon, interleaved block codes) and the full evaluation harness
 for its tables and figures.
 
-Quickstart::
+Quickstart — send and receive a whole file through the
+:mod:`repro.api` facade (the code is a registry spec string; swap
+``"tornado-b"`` for ``"lt"`` or ``"rs"`` and nothing else changes)::
+
+    from repro import api
+
+    api.send_file("big.iso", "out/", code="tornado-b", loss=0.2)
+    api.receive_stream("out/", "recovered.iso")
+
+Code-level quickstart::
 
     import numpy as np
     from repro import tornado_a, bytes_to_packets, packets_to_bytes
@@ -54,9 +63,31 @@ from repro.codes import (
     vandermonde_code,
 )
 from repro.codes.base import bytes_to_packets, packets_to_bytes
+from repro.codes.registry import (
+    CodeSpec,
+    available_codes,
+    build_code,
+    parse_spec,
+)
 from repro.errors import DecodeFailure, ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: `repro.api` names resolved lazily (PEP 562) so that `import repro`
+#: does not drag in the whole transfer/net stack until the facade is
+#: actually used.
+_API_EXPORTS = ("api", "SenderSession", "ReceiverSession",
+                "send_file", "receive_stream")
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS:
+        import importlib
+
+        api = importlib.import_module("repro.api")
+        return api if name == "api" else getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ErasureCode",
@@ -74,5 +105,14 @@ __all__ = [
     "packets_to_bytes",
     "DecodeFailure",
     "ReproError",
+    "CodeSpec",
+    "available_codes",
+    "build_code",
+    "parse_spec",
+    "api",
+    "SenderSession",
+    "ReceiverSession",
+    "send_file",
+    "receive_stream",
     "__version__",
 ]

@@ -1,0 +1,357 @@
+"""``repro.api`` — one way to build, send, and receive, for every code.
+
+The paper's fountain ideal is an interface, not a code: *inject packets
+from the stream until you have enough*.  This facade is that interface
+for whole files, built on the code registry
+(:mod:`repro.codes.registry`) and the block-segmented transfer layer,
+so the erasure code underneath is chosen by a spec string and nothing
+else changes:
+
+    from repro import api
+
+    api.send_file("big.iso", "out/", code="lt:c=0.03,delta=0.1",
+                  loss=0.2)
+    api.receive_stream("out/", "recovered.iso")
+
+For in-memory pipelines (tests, simulations, custom channels) the same
+machinery is exposed as two session objects:
+
+    sender = api.SenderSession(data, code="tornado-b", seed=7)
+    receiver = api.ReceiverSession(sender.manifest())
+    for packet in sender.packets():          # a lossy channel goes here
+        if receiver.receive(packet):
+            break
+    assert receiver.data() == data
+
+``send_file`` writes the surviving packets of a simulated lossy channel
+into ``out/stream.pkt`` plus a JSON manifest; ``receive_stream`` replays
+the survivors into per-block incremental decoders and reconstructs the
+byte-exact original.  Both speak only spec strings — no code class ever
+crosses the API boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.codes.registry import CodeSpec
+from repro.errors import DecodeFailure, ProtocolError, ReproError
+from repro.fountain.metrics import ReceptionStats
+from repro.fountain.packets import EncodingPacket
+from repro.net.channel import LossyChannel
+from repro.net.loss import BernoulliLoss
+from repro.transfer.blocks import BlockPlan
+from repro.transfer.client import TransferClient
+from repro.transfer.codec import ObjectCodec
+from repro.transfer.server import TransferServer
+
+__all__ = [
+    "MANIFEST_NAME",
+    "STREAM_NAME",
+    "ReceiveReport",
+    "ReceiverSession",
+    "SendReport",
+    "SenderSession",
+    "receive_stream",
+    "send_file",
+]
+
+MANIFEST_NAME = "manifest.json"
+STREAM_NAME = "stream.pkt"
+
+#: emission budget per source packet before a send is declared stuck.
+_EMISSION_LIMIT_FACTOR = 200
+
+
+class SenderSession:
+    """Bind an object to a code spec and stream its encoding packets.
+
+    Parameters
+    ----------
+    data:
+        The exact object bytes.
+    code:
+        Registry spec string (``"tornado-b"``, ``"lt:c=0.05"``, ``"rs"``,
+        ...) choosing the per-block code.
+    packet_size:
+        Payload bytes per packet.
+    block_size:
+        Bytes per block; each block gets its own small code.
+    schedule:
+        Cross-block striping order (``"interleave"`` or ``"sequential"``).
+    seed:
+        Shared transfer seed (code graphs, carousel permutations).
+    file_name:
+        Recorded in the manifest for the receiver's benefit.
+    """
+
+    def __init__(self, data: bytes, code: Union[str, CodeSpec] = "tornado-b",
+                 packet_size: int = 1024, block_size: int = 256 * 1024,
+                 schedule: str = "interleave", seed: int = 2024,
+                 file_name: Optional[str] = None):
+        if not data:
+            raise ReproError("nothing to send: the object is empty")
+        self.data = data
+        self.schedule = schedule
+        self.seed = int(seed)
+        self.file_name = file_name
+        self.plan = BlockPlan.from_block_size(len(data), packet_size,
+                                              block_size)
+        self.codec = ObjectCodec(self.plan, code=code, seed=self.seed)
+        self.server = TransferServer(self.codec, data, schedule=schedule,
+                                     seed=self.seed)
+
+    @property
+    def code_spec(self) -> str:
+        return self.codec.code_spec
+
+    @property
+    def num_blocks(self) -> int:
+        return self.codec.num_blocks
+
+    @property
+    def total_k(self) -> int:
+        return self.codec.total_k
+
+    def packets(self, count: Optional[int] = None
+                ) -> Iterator[EncodingPacket]:
+        """The striped packet stream (infinite when ``count`` is None)."""
+        return self.server.packets(count)
+
+    def manifest(self, **extra: object) -> dict:
+        """The JSON-able manifest a :class:`ReceiverSession` needs."""
+        if self.file_name is not None:
+            extra.setdefault("file_name", self.file_name)
+        return self.codec.to_manifest(schedule=self.schedule, **extra)
+
+    @classmethod
+    def for_file(cls, path: Union[str, pathlib.Path],
+                 **kwargs: object) -> "SenderSession":
+        """A session over a file's bytes, with its name in the manifest."""
+        path = pathlib.Path(path)
+        kwargs.setdefault("file_name", path.name)
+        return cls(path.read_bytes(), **kwargs)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SenderSession(code={self.code_spec!r}, "
+                f"bytes={len(self.data)}, blocks={self.num_blocks})")
+
+
+class ReceiverSession:
+    """Consume a packet stream described by a manifest until complete."""
+
+    def __init__(self, manifest: dict):
+        self.manifest = manifest
+        self.codec = ObjectCodec.from_manifest(manifest)
+        self.client = TransferClient(self.codec)
+        self.block_aware = bool(manifest.get("block_header",
+                                             self.codec.num_blocks > 1))
+        self.header_size = 16 if self.block_aware else 12
+        #: bytes per on-wire packet record (header + payload).
+        self.record_size = self.header_size + self.codec.plan.packet_size
+        self.packets_used = 0
+
+    @property
+    def code_spec(self) -> str:
+        return self.codec.code_spec
+
+    @property
+    def is_complete(self) -> bool:
+        return self.client.is_complete
+
+    @property
+    def progress(self) -> float:
+        return self.client.progress
+
+    def receive(self, packet: EncodingPacket) -> bool:
+        """Ingest one packet; True once every block is decodable."""
+        if not self.client.is_complete:
+            self.packets_used += 1
+        return self.client.receive(packet)
+
+    def receive_record(self, record: bytes) -> bool:
+        """Ingest one on-wire packet record (header + payload bytes)."""
+        return self.receive(EncodingPacket.from_bytes(
+            record, block_aware=self.block_aware))
+
+    def receive_stream_bytes(self, raw: bytes) -> bool:
+        """Replay a whole recorded stream; stops early once complete."""
+        if len(raw) % self.record_size:
+            raise ReproError(
+                f"stream is {len(raw)} bytes, not a multiple of the "
+                f"{self.record_size}-byte packet record — truncated or "
+                "wrong manifest?")
+        for off in range(0, len(raw), self.record_size):
+            if self.receive_record(raw[off:off + self.record_size]):
+                break
+        return self.is_complete
+
+    def data(self) -> bytes:
+        """The reconstructed object, byte-identical to the sender's."""
+        return self.client.object_data()
+
+    def stats(self) -> ReceptionStats:
+        return self.client.stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ReceiverSession(code={self.code_spec!r}, "
+                f"blocks={self.client.blocks_complete}/"
+                f"{self.codec.num_blocks})")
+
+
+# -- one-call file transfer ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SendReport:
+    """Outcome of :func:`send_file`."""
+
+    out_dir: pathlib.Path
+    file_name: str
+    file_size: int
+    code_spec: str
+    schedule: str
+    num_blocks: int
+    total_k: int
+    loss: float
+    #: packets pushed into the channel.
+    sent: int
+    #: survivors recorded into ``stream.pkt``.
+    survivors: int
+
+    @property
+    def reception_overhead(self) -> float:
+        """Survivors beyond the source packet count, as a fraction."""
+        return self.survivors / self.total_k - 1.0
+
+
+@dataclass(frozen=True)
+class ReceiveReport:
+    """Outcome of :func:`receive_stream`."""
+
+    data: bytes
+    file_name: str
+    code_spec: str
+    #: packets consumed before every block decoded.
+    packets_used: int
+    #: packet records available in the stream file.
+    packets_available: int
+    stats: ReceptionStats
+
+    @property
+    def file_size(self) -> int:
+        return len(self.data)
+
+
+def send_file(input_path: Union[str, pathlib.Path],
+              out_dir: Union[str, pathlib.Path],
+              code: Union[str, CodeSpec] = "tornado-b",
+              *,
+              loss: float = 0.0,
+              packet_size: int = 1024,
+              block_size: int = 256 * 1024,
+              schedule: str = "interleave",
+              seed: int = 2024,
+              loss_seed: Optional[int] = None,
+              extra: int = 0) -> SendReport:
+    """Stream a file across a simulated lossy channel into ``out_dir``.
+
+    Writes ``stream.pkt`` (the surviving packet records) and
+    ``manifest.json`` (everything :func:`receive_stream` needs).  A
+    structural shadow receiver tells the sender when the recorded
+    survivors have become decodable — mimicking a receiver-driven
+    session without paying for a second payload decode — after which
+    ``extra`` more survivors are recorded as safety margin.
+
+    Raises :class:`~repro.errors.ReproError` when the channel is too
+    lossy to finish within the emission budget.
+    """
+    input_path = pathlib.Path(input_path)
+    session = SenderSession.for_file(input_path, code=code,
+                                     packet_size=packet_size,
+                                     block_size=block_size,
+                                     schedule=schedule, seed=seed)
+    if loss_seed is None:
+        loss_seed = seed + 1
+    channel = LossyChannel(BernoulliLoss(loss), rng=loss_seed)
+    shadow = TransferClient(session.codec, payload_size=None)
+    limit = _EMISSION_LIMIT_FACTOR * session.total_k
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    # Drop any stale manifest first: stream.pkt is rewritten below, and a
+    # failed send must not leave the new stream paired with an old
+    # manifest's geometry.  The fresh manifest lands only on success.
+    (out_dir / MANIFEST_NAME).unlink(missing_ok=True)
+    survivors = 0
+    extra_left = extra
+    with open(out_dir / STREAM_NAME, "wb") as stream:
+        for packet in channel.transmit(session.packets(limit)):
+            stream.write(packet.to_bytes())
+            survivors += 1
+            if shadow.receive_index(packet.block, packet.index):
+                if extra_left <= 0:
+                    break
+                extra_left -= 1
+    if not shadow.is_complete:
+        raise ReproError(
+            f"channel too lossy: {limit} emissions were not enough "
+            f"(blocks incomplete: {shadow.incomplete_blocks[:8]})")
+    from repro import __version__
+    manifest = session.manifest(
+        version=__version__,
+        loss=loss,
+        packets_written=survivors,
+    )
+    (out_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return SendReport(
+        out_dir=out_dir,
+        file_name=input_path.name,
+        file_size=len(session.data),
+        code_spec=session.code_spec,
+        schedule=schedule,
+        num_blocks=session.num_blocks,
+        total_k=session.total_k,
+        loss=loss,
+        sent=channel.sent,
+        survivors=survivors,
+    )
+
+
+def receive_stream(in_dir: Union[str, pathlib.Path],
+                   output_path: Union[str, pathlib.Path, None] = None
+                   ) -> ReceiveReport:
+    """Reconstruct the original file from a :func:`send_file` directory.
+
+    Returns the reconstructed bytes in the report; also writes them to
+    ``output_path`` when given.  Raises
+    :class:`~repro.errors.ProtocolError` for non-transfer directories
+    and :class:`~repro.errors.DecodeFailure` when the recorded survivors
+    are insufficient (re-send with more ``extra``).
+    """
+    in_dir = pathlib.Path(in_dir)
+    manifest_path = in_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ProtocolError(f"no {MANIFEST_NAME} in {in_dir}")
+    manifest = json.loads(manifest_path.read_text())
+    session = ReceiverSession(manifest)
+    raw = (in_dir / STREAM_NAME).read_bytes()
+    session.receive_stream_bytes(raw)
+    if not session.is_complete:
+        raise DecodeFailure(
+            f"{session.packets_used} packets were not enough — blocks "
+            f"{session.client.incomplete_blocks[:8]} incomplete; "
+            "re-send with more extra packets")
+    data = session.data()
+    if output_path is not None:
+        pathlib.Path(output_path).write_bytes(data)
+    return ReceiveReport(
+        data=data,
+        file_name=manifest.get("file_name", ""),
+        code_spec=session.code_spec,
+        packets_used=session.packets_used,
+        packets_available=len(raw) // session.record_size,
+        stats=session.stats(),
+    )

@@ -14,9 +14,16 @@ The downstream-adoption surface of the library::
 
     # block-segmented bulk transfer: the file is cut into blocks, each
     # gets its own small code, and one striped packet stream crosses a
-    # (simulated) lossy channel
+    # (simulated) lossy channel -- the code is any registry spec string
     python -m repro send big.iso out/ --code tornado-b --loss 0.2
+    python -m repro send big.iso out/ --code lt:c=0.05,delta=0.5
     python -m repro recv out/ recovered.iso
+
+    python -m repro codes list       # every registered code spec
+
+Every subcommand builds its erasure code through the central registry
+(:mod:`repro.codes.registry`); ``send``/``recv`` are thin shells over
+:func:`repro.api.send_file` / :func:`repro.api.receive_stream`.
 
 ``encode`` writes one file per encoding packet (12-byte header + payload,
 the paper's wire format) plus a tiny manifest; ``decode`` reads whatever
@@ -24,13 +31,6 @@ packet files survived and reconstructs the original, refusing cleanly
 when too few are present.  ``decode`` dispatches on the manifest's
 ``code`` field, so ``repro decode`` also reconstructs LT shard
 directories (``repro lt decode`` is the self-documenting alias).
-
-``send`` streams a block-segmented encoding (:mod:`repro.transfer`)
-through a :mod:`repro.net` Bernoulli channel and records the surviving
-packets into one ``stream.pkt`` file (16-byte block-aware headers when
-the plan has more than one block, the legacy byte-compatible 12-byte
-header otherwise); ``recv`` replays the survivors into per-block
-incremental decoders and writes the byte-exact original.
 """
 
 from __future__ import annotations
@@ -46,27 +46,22 @@ import numpy as np
 
 from repro import __version__
 from repro.codes.base import bytes_to_packets, packets_to_bytes
-from repro.codes.lt import LTCode, robust_soliton, robust_soliton_spike
-from repro.codes.tornado.presets import TORNADO_PRESETS
-from repro.errors import DecodeFailure, ReproError
+from repro.codes.lt import robust_soliton_spike
+from repro.codes.registry import (
+    REGISTRY,
+    CodeSpec,
+    build_code,
+)
+from repro.errors import ReproError
 from repro.fountain.packets import EncodingPacket, PacketHeader
 
 MANIFEST_NAME = "manifest.json"
 STREAM_NAME = "stream.pkt"
 
 
-def _build_code(preset: str, k: int, seed: int):
-    try:
-        factory = TORNADO_PRESETS[f"tornado-{preset}"]
-    except KeyError:
-        raise ReproError(f"unknown preset {preset!r}; use 'a' or 'b'")
-    return factory(k, seed=seed)
-
-
-def _build_lt_code(k: int, seed: int, c: float = 0.03,
-                   delta: float = 0.1) -> LTCode:
-    return LTCode(int(k), degree_dist=robust_soliton(int(k), c=c, delta=delta),
-                  seed=int(seed))
+def _lt_spec(args: argparse.Namespace) -> CodeSpec:
+    """The LT spec the ``lt`` subcommands' soliton flags describe."""
+    return CodeSpec.make("lt", c=args.c, delta=args.delta)
 
 
 def _write_shards(args: argparse.Namespace, payloads, count: int,
@@ -92,7 +87,8 @@ def _write_shards(args: argparse.Namespace, payloads, count: int,
 def cmd_encode(args: argparse.Namespace) -> int:
     data = pathlib.Path(args.input).read_bytes()
     source = bytes_to_packets(data, args.packet_size)
-    code = _build_code(args.preset, source.shape[0], args.seed)
+    code = build_code(f"tornado-{args.preset}", source.shape[0],
+                      seed=args.seed)
     encoding = code.encode(source)
     manifest = {
         "version": __version__,
@@ -110,6 +106,17 @@ def cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _manifest_spec(manifest: dict) -> CodeSpec:
+    """The registry spec a shard manifest's code fields describe."""
+    family = manifest.get("code", "tornado")
+    if family == "lt":
+        return CodeSpec.make("lt", c=manifest.get("c", 0.03),
+                             delta=manifest.get("delta", 0.1))
+    if family == "tornado":
+        return CodeSpec.parse(f"tornado-{manifest['preset']}")
+    return CodeSpec.parse(family)
+
+
 def cmd_decode(args: argparse.Namespace) -> int:
     in_dir = pathlib.Path(args.input)
     manifest_path = in_dir / MANIFEST_NAME
@@ -121,13 +128,8 @@ def cmd_decode(args: argparse.Namespace) -> int:
         print(f"error: {in_dir} is a block-segmented transfer directory — "
               "use `repro recv` to reconstruct it", file=sys.stderr)
         return 2
-    if manifest.get("code", "tornado") == "lt":
-        code = _build_lt_code(manifest["k"], manifest["seed"],
-                              c=manifest.get("c", 0.03),
-                              delta=manifest.get("delta", 0.1))
-    else:
-        code = _build_code(manifest["preset"], manifest["k"],
-                           manifest["seed"])
+    code = build_code(_manifest_spec(manifest), manifest["k"],
+                      seed=manifest["seed"])
     decoder = code.new_decoder(payload_size=manifest["packet_size"])
     used = 0
     for path in sorted(in_dir.glob("*.pkt")):
@@ -151,7 +153,7 @@ def cmd_decode(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    code = _build_code(args.preset, args.k, args.seed)
+    code = build_code(f"tornado-{args.preset}", args.k, seed=args.seed)
     structure = code.structure
     print(f"tornado-{args.preset} k={code.k}: n={code.n}, "
           f"layers={structure.layer_sizes}, cap={structure.cap_size}, "
@@ -160,11 +162,28 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_codes_list(args: argparse.Namespace) -> int:
+    """Print every registered code family, its parameters, and modes."""
+    print(f"{len(REGISTRY.names())} registered code families "
+          "(spec syntax: family or family:key=value,key=value)\n")
+    for family in REGISTRY:
+        params = family.parameters()
+        param_text = (", ".join(f"{name}={value!r}"
+                                for name, value in sorted(params.items()))
+                      if params else "(none)")
+        print(f"{family.name}")
+        print(f"  {family.summary}")
+        print(f"  parameters: {param_text}")
+        print(f"  delivery modes: {', '.join(family.modes)}")
+        print(f"  rateless: {'yes (no n)' if family.rateless else 'no'}")
+        print()
+    return 0
+
+
 def cmd_lt_encode(args: argparse.Namespace) -> int:
     data = pathlib.Path(args.input).read_bytes()
     source = bytes_to_packets(data, args.packet_size)
-    code = _build_lt_code(source.shape[0], args.seed,
-                          c=args.c, delta=args.delta)
+    code = build_code(_lt_spec(args), source.shape[0], seed=args.seed)
     count = (args.droplets if args.droplets is not None
              else int(math.ceil((1 + args.overhead) * code.k)))
     if count < code.k:
@@ -191,7 +210,7 @@ def cmd_lt_encode(args: argparse.Namespace) -> int:
 
 
 def cmd_lt_sim(args: argparse.Namespace) -> int:
-    code = _build_lt_code(args.k, args.seed, c=args.c, delta=args.delta)
+    code = build_code(_lt_spec(args), args.k, seed=args.seed)
     if args.pure_peeling:
         code.inactivation_limit = 0
     rng = np.random.default_rng(args.seed)
@@ -213,113 +232,55 @@ def cmd_lt_sim(args: argparse.Namespace) -> int:
 
 
 def cmd_send(args: argparse.Namespace) -> int:
-    from repro.net.channel import LossyChannel
-    from repro.net.loss import BernoulliLoss
-    from repro.transfer import ObjectCodec, TransferClient, TransferServer
-    from repro.transfer.blocks import BlockPlan
+    from repro import api
 
-    data = pathlib.Path(args.input).read_bytes()
-    if not data:
-        raise ReproError(f"{args.input} is empty; nothing to send")
-    plan = BlockPlan.from_block_size(len(data), args.packet_size,
-                                     args.block_size)
-    codec = ObjectCodec(plan, family=args.code, seed=args.seed)
-    server = TransferServer(codec, data, schedule=args.schedule,
-                            seed=args.seed)
-    loss_seed = args.loss_seed if args.loss_seed is not None else args.seed + 1
-    channel = LossyChannel(BernoulliLoss(args.loss), rng=loss_seed)
-    # A structural (index-only) shadow client tells the sender when the
-    # survivors it has written are decodable -- mimicking a receiver-
-    # driven session without paying for a second decode of the payloads.
-    shadow = TransferClient(codec, payload_size=None)
-    limit = int(200 * codec.total_k)
-    out_dir = pathlib.Path(args.output)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    # Drop any stale manifest first: stream.pkt is rewritten below, and a
-    # failed send must not leave the new stream paired with an old
-    # manifest's geometry.  The fresh manifest lands only on success.
-    (out_dir / MANIFEST_NAME).unlink(missing_ok=True)
-    survivors = 0
-    extra_left = args.extra
-    with open(out_dir / STREAM_NAME, "wb") as stream:
-        for packet in channel.transmit(server.packets(limit)):
-            stream.write(packet.to_bytes())
-            survivors += 1
-            if shadow.receive_index(packet.block, packet.index):
-                if extra_left <= 0:
-                    break
-                extra_left -= 1
-    if not shadow.is_complete:
-        raise ReproError(
-            f"channel too lossy: {limit} emissions were not enough "
-            f"(blocks incomplete: {shadow.incomplete_blocks[:8]})")
-    manifest = codec.to_manifest(
-        version=__version__,
-        schedule=args.schedule,
-        file_name=pathlib.Path(args.input).name,
+    report = api.send_file(
+        args.input, args.output, code=args.code,
         loss=args.loss,
-        packets_written=survivors,
+        packet_size=args.packet_size,
+        block_size=args.block_size,
+        schedule=args.schedule,
+        seed=args.seed,
+        loss_seed=args.loss_seed,
+        extra=args.extra,
     )
-    (out_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
-    print(f"sent {channel.sent} packets across a {args.loss:.0%}-loss "
-          f"channel; {survivors} survivors in {out_dir / STREAM_NAME}")
-    print(f"{args.code} x {plan.num_blocks} blocks "
-          f"(k={plan.blocks[0].k}, tail k={plan.blocks[-1].k}), "
-          f"schedule={args.schedule}, "
-          f"reception overhead {survivors / codec.total_k - 1:+.1%}")
+    print(f"sent {report.sent} packets across a {args.loss:.0%}-loss "
+          f"channel; {report.survivors} survivors in "
+          f"{report.out_dir / api.STREAM_NAME}")
+    print(f"{report.code_spec} x {report.num_blocks} blocks, "
+          f"schedule={report.schedule}, "
+          f"reception overhead {report.reception_overhead:+.1%}")
     return 0
 
 
 def cmd_recv(args: argparse.Namespace) -> int:
-    from repro.transfer import ObjectCodec, TransferClient
+    from repro import api
+    from repro.errors import DecodeFailure, ProtocolError
 
     in_dir = pathlib.Path(args.input)
-    manifest_path = in_dir / MANIFEST_NAME
-    if not manifest_path.exists():
+    if not (in_dir / MANIFEST_NAME).exists():
         print(f"error: no {MANIFEST_NAME} in {in_dir}", file=sys.stderr)
         return 2
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("kind") != "transfer":
+    try:
+        report = api.receive_stream(in_dir, args.output)
+    except ProtocolError:
         print(f"error: {in_dir} is not a transfer directory — "
               "use `repro decode` for shard directories", file=sys.stderr)
         return 2
-    codec = ObjectCodec.from_manifest(manifest)
-    block_aware = bool(manifest.get("block_header",
-                                    codec.num_blocks > 1))
-    header_size = 16 if block_aware else 12
-    record = header_size + manifest["packet_size"]
-    client = TransferClient(codec)
-    raw = (in_dir / STREAM_NAME).read_bytes()
-    if len(raw) % record:
-        raise ReproError(
-            f"{STREAM_NAME} is {len(raw)} bytes, not a multiple of the "
-            f"{record}-byte packet record — truncated or wrong manifest?")
-    used = 0
-    for off in range(0, len(raw), record):
-        packet = EncodingPacket.from_bytes(raw[off:off + record],
-                                           block_aware=block_aware)
-        used += 1
-        if client.receive(packet):
-            break
-    if not client.is_complete:
-        print(f"error: {used} packets were not enough — blocks "
-              f"{client.incomplete_blocks[:8]} incomplete; "
-              "re-send with more --extra packets", file=sys.stderr)
+    except DecodeFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 1
-    data = client.object_data()
-    pathlib.Path(args.output).write_bytes(data)
-    stats = client.stats()
-    print(f"reconstructed {manifest.get('file_name', args.output)} "
-          f"({len(data)} bytes) from {used} of {len(raw) // record} "
-          f"stream packets")
-    print(f"{codec.num_blocks} blocks complete; reception overhead "
-          f"{stats.reception_overhead:+.1%} "
-          f"(eta={stats.efficiency:.3f})")
+    print(f"reconstructed {report.file_name or args.output} "
+          f"({report.file_size} bytes) from {report.packets_used} of "
+          f"{report.packets_available} stream packets")
+    print(f"{report.code_spec}: all blocks complete; reception overhead "
+          f"{report.stats.reception_overhead:+.1%} "
+          f"(eta={report.stats.efficiency:.3f})")
     return 0
 
 
 def cmd_lt_info(args: argparse.Namespace) -> int:
-    code = _build_lt_code(args.k, args.seed, c=args.c, delta=args.delta)
+    code = build_code(_lt_spec(args), args.k, seed=args.seed)
     spike = robust_soliton_spike(args.k, c=args.c, delta=args.delta)
     print(f"lt k={code.k}: rateless (no n), "
           f"avg droplet degree={code.average_degree:.2f}, "
@@ -355,6 +316,13 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--seed", type=int, default=2024)
     info.set_defaults(func=cmd_info)
 
+    codes = sub.add_parser(
+        "codes", help="inspect the code registry")
+    codes_sub = codes.add_subparsers(dest="codes_command", required=True)
+    codes_list = codes_sub.add_parser(
+        "list", help="print registered code specs, parameters, and modes")
+    codes_list.set_defaults(func=cmd_codes_list)
+
     send = sub.add_parser(
         "send",
         help="block-segmented transfer: stream a file across a lossy "
@@ -362,8 +330,8 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("input", help="file to send")
     send.add_argument("output", help="directory for stream.pkt + manifest")
     send.add_argument("--code", default="tornado-b",
-                      choices=("tornado-a", "tornado-b", "lt", "rs"),
-                      help="per-block code family")
+                      help="per-block code spec (see `repro codes list`), "
+                           "e.g. tornado-b, lt, lt:c=0.05,delta=0.5, rs")
     send.add_argument("--packet-size", type=int, default=1024)
     send.add_argument("--block-size", type=int, default=256 * 1024,
                       help="bytes per block (each block gets its own code)")

@@ -23,6 +23,13 @@ Module index
   packet indices are unbounded droplet ids.
 * :mod:`repro.codes.interleaved` — the interleaved block-code baseline of
   Section 6 (Nonnenmacher/Biersack/Towsley-style).
+* :mod:`repro.codes.registry` — the central code registry: spec-string
+  parsing (``"tornado-a"``, ``"lt:c=0.03,delta=0.1"``, ``"rs"``), the
+  :class:`~repro.codes.registry.ErasureEncoder` /
+  :class:`~repro.codes.registry.IncrementalDecoder` /
+  :class:`~repro.codes.registry.RatelessEncoder` protocols, and the one
+  ``build_code(spec, k, seed)`` constructor every layer resolves
+  through.
 """
 
 from repro.codes.base import ErasureCode, ReceivedPacket
@@ -31,6 +38,19 @@ from repro.codes.reed_solomon import ReedSolomonCode, vandermonde_code, cauchy_c
 from repro.codes.interleaved import InterleavedCode
 from repro.codes.tornado import TornadoCode, tornado_a, tornado_b
 from repro.codes.lt import LTCode, ideal_soliton, robust_soliton
+from repro.codes.registry import (
+    REGISTRY,
+    CodeSpec,
+    ErasureEncoder,
+    IncrementalDecoder,
+    RatelessEncoder,
+    available_codes,
+    block_seed,
+    build_code,
+    incremental_decoder,
+    parse_spec,
+    register_code,
+)
 
 __all__ = [
     "ErasureCode",
@@ -46,4 +66,15 @@ __all__ = [
     "LTCode",
     "ideal_soliton",
     "robust_soliton",
+    "REGISTRY",
+    "CodeSpec",
+    "ErasureEncoder",
+    "IncrementalDecoder",
+    "RatelessEncoder",
+    "available_codes",
+    "block_seed",
+    "build_code",
+    "incremental_decoder",
+    "parse_spec",
+    "register_code",
 ]

@@ -11,13 +11,16 @@ Section 7.2 describes two client decoding protocols:
   the paper chose this for its prototype as "simpler and sufficiently
   fast in practice".
 
-Both are implemented here on top of the incremental decoders of the
-shared peeling engine (Tornado's
-:class:`~repro.codes.tornado.decoder.PeelingDecoder` and the LT
-:class:`~repro.codes.lt.decoder.LTDecoder` — any code exposing
-``new_decoder``) or the generic batch decode for everything else.  For a
-rateless code the packet ``index`` is the droplet id; the client neither
-knows nor cares that the stream has no end.
+Both are implemented on top of
+:func:`repro.codes.registry.incremental_decoder`, which hands back the
+native peeling decoders (Tornado's
+:class:`~repro.codes.tornado.decoder.PeelingDecoder`, the LT
+:class:`~repro.codes.lt.decoder.LTDecoder`) and adapts every other code
+(Reed-Solomon, interleaved) through the registry's generic
+:class:`~repro.codes.registry.SetDecoder` — so incremental completion
+detection works for *any* registered family.  For a rateless code the
+packet ``index`` is the droplet id; the client neither knows nor cares
+that the stream has no end.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.codes.base import ErasureCode
+from repro.codes.registry import incremental_decoder
 from repro.errors import DecodeFailure, ParameterError
 from repro.fountain.metrics import ReceptionStats
 from repro.fountain.packets import EncodingPacket
@@ -75,8 +79,9 @@ class FountainClient:
         self._complete = False
         self._next_attempt = int(np.ceil((1 + statistical_margin) * code.k))
         self._decode_attempts = 0
-        if hasattr(code, "new_decoder") and mode is ClientMode.INCREMENTAL:
-            self._decoder = code.new_decoder(payload_size=payload_size)
+        if mode is ClientMode.INCREMENTAL:
+            self._decoder = incremental_decoder(code,
+                                                payload_size=payload_size)
         else:
             self._decoder = None
 
@@ -95,12 +100,10 @@ class FountainClient:
         if index not in self._seen:
             self._seen[index] = payload
             if self._decoder is not None:
+                # INCREMENTAL mode always has a decoder (the registry
+                # adapts codes without a native one through SetDecoder).
                 self._decoder.add_packet(index, payload)
                 if self._decoder.is_complete:
-                    self._complete = True
-            elif self.mode is ClientMode.INCREMENTAL:
-                # Generic codes: completion check is cheap (set size).
-                if self.code.is_decodable(self._seen.keys()):
                     self._complete = True
         if (not self._complete and self.mode is ClientMode.STATISTICAL
                 and len(self._seen) >= self._next_attempt):

@@ -3,7 +3,10 @@
 One receiver owns a bottleneck capacity (packets per round its access
 path can carry), an ambient loss process, a
 :class:`~repro.protocol.congestion.SubscriptionController` and an
-incremental Tornado decoder.  Per round it:
+incremental decoder for *any* registered code
+(:func:`repro.codes.registry.incremental_decoder` hands back the native
+peeling decoder for Tornado/LT and the generic set-based adapter for
+MDS codes like Reed-Solomon).  Per round it:
 
 1. receives the packets of its subscribed layers, minus congestion drops
    (arrivals beyond capacity) and ambient losses;
@@ -14,11 +17,11 @@ incremental Tornado decoder.  Per round it:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional, Set
 
 import numpy as np
 
-from repro.codes.tornado.code import TornadoCode
+from repro.codes.registry import incremental_decoder
 from repro.fountain.metrics import ReceptionStats
 from repro.net.loss import LossModel
 from repro.protocol.congestion import CongestionPolicy, SubscriptionController
@@ -29,7 +32,7 @@ from repro.utils.rng import RngLike, ensure_rng
 class LayeredReceiver:
     """A single receiver in the layered-multicast session simulation."""
 
-    def __init__(self, code: TornadoCode, config: LayerConfig,
+    def __init__(self, code: Any, config: LayerConfig,
                  policy: CongestionPolicy, capacity_per_round: int,
                  ambient_loss: LossModel, rng: RngLike = None,
                  start_level: int = 0):
@@ -41,7 +44,7 @@ class LayeredReceiver:
         self.rng = ensure_rng(rng)
         self.controller = SubscriptionController(
             policy=policy, config=config, level=start_level)
-        self.decoder = code.new_decoder()
+        self.decoder = incremental_decoder(code)
         self.total_received = 0
         self.congestion_drops = 0
         self.ambient_drops = 0
@@ -51,7 +54,12 @@ class LayeredReceiver:
         # Channel-level distinctness: a packet already *recovered* by the
         # decoder but seen for the first time on the wire still counts as
         # distinct (eta_d measures duplicate receptions, Section 7.3).
-        self._seen = np.zeros(code.n, dtype=bool)
+        # Fixed-rate codes get a dense bitmap over [0, n); rateless codes
+        # have unbounded droplet ids, so a set tracks them instead.
+        n = getattr(code, "n", None)
+        self._seen: Optional[np.ndarray] = (
+            np.zeros(n, dtype=bool) if n is not None else None)
+        self._seen_ids: Set[int] = set()
         self.distinct_received = 0
 
     @property
@@ -61,6 +69,24 @@ class LayeredReceiver:
     @property
     def is_complete(self) -> bool:
         return self.decoder.is_complete
+
+    def _observe_distinct(self, chunk: np.ndarray) -> int:
+        """Mark ``chunk`` seen; count its first-ever-seen indices."""
+        if self._seen is not None:
+            fresh = ~self._seen[chunk]
+            # In-chunk duplicates: count first occurrences only.
+            first = np.zeros(chunk.size, dtype=bool)
+            __, first_pos = np.unique(chunk, return_index=True)
+            first[first_pos] = True
+            count = int(np.count_nonzero(fresh & first))
+            self._seen[chunk] = True
+            return count
+        count = 0
+        for index in chunk.tolist():
+            if index not in self._seen_ids:
+                self._seen_ids.add(index)
+                count += 1
+        return count
 
     def process_round(self, round_index: int,
                       per_layer_indices: List[np.ndarray],
@@ -89,13 +115,7 @@ class LayeredReceiver:
         pos = 0
         while pos < delivered.size and not self.decoder.is_complete:
             chunk = delivered[pos:pos + 64]
-            fresh = ~self._seen[chunk]
-            # In-chunk duplicates: count first occurrences only.
-            first = np.zeros(chunk.size, dtype=bool)
-            __, first_pos = np.unique(chunk, return_index=True)
-            first[first_pos] = True
-            self.distinct_received += int(np.count_nonzero(fresh & first))
-            self._seen[chunk] = True
+            self.distinct_received += self._observe_distinct(chunk)
             self.decoder.add_packets(chunk)
             self.total_received += int(chunk.size)
             pos += int(chunk.size)

@@ -1,25 +1,36 @@
-"""Layered fountain server (paper Section 7.1).
+"""Layered fountain server (paper Section 7.1), for any registered code.
 
-The server encodes the file once with a Tornado code, permutes the
-encoding (so that block positions carry a random sample of the
-encoding), and then walks the reverse-binary schedule round by round,
-transmitting every layer's block ranges.  Burst rounds transmit two
-schedule rounds' worth of packets in one round-time, doubling each
-layer's instantaneous rate exactly as [19] prescribes.
+Fixed-rate codes (Tornado, Reed-Solomon): the server encodes the file
+once, permutes the encoding (so that block positions carry a random
+sample of the encoding), and then walks the reverse-binary schedule
+round by round, transmitting every layer's block ranges.  Burst rounds
+transmit two schedule rounds' worth of packets in one round-time,
+doubling each layer's instantaneous rate exactly as [19] prescribes.
+
+Rateless codes (LT): there is no finite encoding to permute — the
+server keeps the same reverse-binary schedule geometry (it still
+defines per-layer rates and round timing), but maps every schedule slot
+to a *fresh droplet id*: slot ``p`` of pattern sweep ``s`` carries
+droplet ``s * schedule_size + p``.  Because the layers' ranges tile the
+schedule exactly once per sweep, droplet ids never repeat — on any
+layer, at any level, ever — which is the One Level Property taken to
+its rateless limit (distinctness efficiency is identically 1).
 
 Scheduling is expressed over ``schedule_size = ceil(n / B) * B``
-positions; the handful of pad positions past ``n`` wrap back onto the
-start of the permuted encoding (at most ``B - 1`` early repeats per
-pass, negligible against n and accounted for in the duplicate metrics).
+positions; for fixed-rate codes the handful of pad positions past ``n``
+wrap back onto the start of the permuted encoding (at most ``B - 1``
+early repeats per pass, negligible against n and accounted for in the
+duplicate metrics).  For rateless codes ``n`` is virtual: the
+``cycle_length`` parameter (default ``2k``, the fixed-rate presets'
+stretch) only sets the sweep granularity, not a reception ceiling.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
-from repro.codes.base import ErasureCode
 from repro.errors import ParameterError
 from repro.protocol.congestion import CongestionPolicy
 from repro.protocol.layering import LayerConfig
@@ -31,12 +42,14 @@ _SERVER_PERMUTATION_STREAM = 0xCA11
 
 
 class LayeredServer:
-    """Drives the layered transmission schedule over a permuted encoding.
+    """Drives the layered transmission schedule over any code's stream.
 
     Parameters
     ----------
     code:
-        The erasure code (defines ``n``).
+        Any registered erasure code.  Fixed-rate codes define ``n`` and
+        are served as a permuted carousel; rateless codes (``n is
+        None``) are served as an ever-fresh droplet stream.
     config:
         Layer set (rates, block size).
     policy:
@@ -44,23 +57,40 @@ class LayeredServer:
     seed:
         Permutation seed shared with nobody — receivers identify packets
         purely by the encoding index in the header.
+    cycle_length:
+        Rateless codes only: virtual encoding length that sets the sweep
+        granularity (defaults to ``2 * k``).
     """
 
-    def __init__(self, code: ErasureCode, config: LayerConfig,
+    def __init__(self, code: Any, config: LayerConfig,
                  policy: CongestionPolicy, seed: RngLike = 0,
-                 blocks_per_round: Optional[int] = None):
+                 blocks_per_round: Optional[int] = None,
+                 cycle_length: Optional[int] = None):
         self.code = code
         self.config = config
         self.policy = policy
+        self.rateless = getattr(code, "n", None) is None
         block = config.block_size
-        self.schedule_size = -(-code.n // block) * block
-        rng = spawn_rng(seed, _SERVER_PERMUTATION_STREAM)
-        permutation = rng.permutation(code.n)
-        pad = self.schedule_size - code.n
-        if pad:
-            permutation = np.concatenate([permutation, permutation[:pad]])
-        #: maps schedule position -> encoding index
-        self.position_to_index = permutation.astype(np.int64)
+        if self.rateless:
+            if cycle_length is None:
+                cycle_length = 2 * code.k
+            if cycle_length < 1:
+                raise ParameterError("cycle_length must be positive")
+            self.schedule_size = -(-int(cycle_length) // block) * block
+            self.position_to_index: Optional[np.ndarray] = None
+        else:
+            if cycle_length is not None:
+                raise ParameterError(
+                    "cycle_length only applies to rateless codes; "
+                    f"{type(code).__name__} has n={code.n}")
+            self.schedule_size = -(-code.n // block) * block
+            rng = spawn_rng(seed, _SERVER_PERMUTATION_STREAM)
+            permutation = rng.permutation(code.n)
+            pad = self.schedule_size - code.n
+            if pad:
+                permutation = np.concatenate([permutation, permutation[:pad]])
+            #: maps schedule position -> encoding index (fixed-rate only)
+            self.position_to_index = permutation.astype(np.int64)
         self.num_blocks = self.schedule_size // block
         # Time granularity: a wall-clock round covers `blocks_per_round`
         # blocks; a full sweep of all blocks advances the reverse-binary
@@ -86,6 +116,10 @@ class LayeredServer:
         ``schedule_round`` advances once per block group; the
         reverse-binary pattern index advances once per full sweep, so
         every block sees the same per-pattern ranges (Figure 7).
+
+        Fixed-rate codes read the permuted encoding; rateless codes mint
+        the slot's globally unique droplet id (sweep-major, so ids are
+        strictly fresh across the whole session).
         """
         pattern_round = schedule_round // self.rounds_per_sweep
         group = schedule_round % self.rounds_per_sweep
@@ -98,6 +132,9 @@ class LayeredServer:
         blocks = np.arange(first_block, last_block)
         offsets = (blocks[:, None] * block
                    + np.arange(start, start + length)[None, :]).ravel()
+        if self.position_to_index is None:
+            return (np.int64(pattern_round) * self.schedule_size
+                    + offsets.astype(np.int64))
         return self.position_to_index[offsets]
 
     def next_round(self) -> Tuple[List[np.ndarray], bool]:

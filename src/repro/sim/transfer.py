@@ -29,7 +29,8 @@ from repro.net.channel import LossyChannel
 from repro.net.loss import BernoulliLoss, LossModel
 from repro.transfer.blocks import BlockPlan
 from repro.transfer.client import TransferClient
-from repro.transfer.codec import ObjectCodec, block_seed
+from repro.codes.registry import block_seed
+from repro.transfer.codec import ObjectCodec
 from repro.transfer.schedule import make_schedule
 from repro.transfer.server import TransferServer
 from repro.utils.rng import spawn_rng
@@ -93,7 +94,7 @@ def simulate_transfer(file_size: int,
     pathological run fails loudly instead of spinning.
     """
     plan = BlockPlan(file_size, packet_size, block_packets)
-    codec = ObjectCodec(plan, family=family, seed=seed)
+    codec = ObjectCodec(plan, code=family, seed=seed)
     channel = LossyChannel(_as_loss_model(loss),
                            rng=spawn_rng(seed, _LOSS_STREAM))
     limit = int(max_factor * codec.total_k)

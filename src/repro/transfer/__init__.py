@@ -6,7 +6,8 @@ with the object.  This subsystem is the production shape of fountain
 delivery: :class:`~repro.transfer.blocks.BlockPlan` partitions the
 object into independently coded blocks (uneven tail handled exactly),
 :class:`~repro.transfer.codec.ObjectCodec` instantiates a per-block code
-(Tornado, LT, or Reed-Solomon through the existing duck types),
+from a registry spec string (Tornado, LT, or Reed-Solomon via
+:mod:`repro.codes.registry`),
 :class:`~repro.transfer.server.TransferServer` stripes the per-block
 fountain streams under a pluggable cross-block schedule
 (:mod:`repro.transfer.schedule`), and
@@ -20,7 +21,7 @@ End to end::
     from repro.transfer import TransferServer, TransferClient
 
     plan = BlockPlan(len(data), packet_size=1024, block_packets=256)
-    codec = ObjectCodec(plan, family="tornado-b", seed=7)
+    codec = ObjectCodec(plan, code="tornado-b", seed=7)
     server = TransferServer(codec, data)
     client = TransferClient(codec)
     for packet in server.packets():        # a lossy channel goes here
@@ -34,6 +35,7 @@ The CLI surface is ``python -m repro send`` / ``python -m repro recv``.
 from repro.transfer.blocks import BlockPlan, BlockSpec
 from repro.transfer.codec import (
     CODE_FAMILIES,
+    RATELESS_FAMILIES,
     ObjectCodec,
     block_seed,
 )
@@ -51,6 +53,7 @@ __all__ = [
     "BlockSpec",
     "ObjectCodec",
     "CODE_FAMILIES",
+    "RATELESS_FAMILIES",
     "block_seed",
     "SCHEDULES",
     "interleaved_slots",

@@ -62,6 +62,8 @@ class TransferClient:
     def _client_for(self, block: int) -> FountainClient:
         client = self._clients[block]
         if client is None:
+            if self.payload_size is not None:
+                self.codec.check_wire_dtype(block)
             client = FountainClient(self.codec.code_for(block),
                                     mode=self.mode,
                                     payload_size=self.payload_size)

@@ -1,77 +1,55 @@
 """Binding a :class:`BlockPlan` to one erasure code per block.
 
 An :class:`ObjectCodec` instantiates a code for every block of the plan
-through the existing duck types — anything exposing the
-``ErasureCode``/``new_decoder`` surface works, so the per-block code can
-be Tornado (A or B presets), a rateless LT code, or plain Reed-Solomon.
-Codes are built lazily and cached: a receiver that only needs block 17
-never pays for the other blocks' graph construction.
+through the central code registry
+(:mod:`repro.codes.registry`) — any registered spec string works, so the
+per-block code can be Tornado (``"tornado-a"``/``"tornado-b"``), a
+rateless LT code (``"lt"``, ``"lt:c=0.05,delta=0.5"``), or plain
+Reed-Solomon (``"rs"``).  Codes are built lazily and cached: a receiver
+that only needs block 17 never pays for the other blocks' graph
+construction.
 
 Per-block seeds are derived from one shared transfer seed with a
-golden-ratio mix (:func:`block_seed`), so sender and receiver agree on
-every block's code graph / droplet spec from a single integer in the
-manifest, and no two blocks share a graph.
+golden-ratio mix (:func:`repro.codes.registry.block_seed`), so sender
+and receiver agree on every block's code graph / droplet spec from a
+single integer in the manifest, and no two blocks share a graph.
 
 :meth:`ObjectCodec.to_manifest` / :meth:`ObjectCodec.from_manifest`
 round-trip everything a receiver needs through a plain JSON-able dict —
 the transfer layer's "length manifest" (exact file size, packet size,
-block geometry, code family, seed).
+block geometry, canonical code spec, seed).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
-from repro.codes.lt import LTCode, robust_soliton
-from repro.codes.reed_solomon import cauchy_code
-from repro.codes.tornado.presets import TORNADO_PRESETS
+from repro.codes.registry import REGISTRY, CodeSpec, block_seed
 from repro.errors import ParameterError, ProtocolError
 from repro.transfer.blocks import BlockPlan
 
-#: 2**32 / golden ratio, the classic Fibonacci-hashing multiplier.
-_GOLDEN = 0x9E3779B1
+__all__ = ["ObjectCodec", "block_seed", "CODE_FAMILIES",
+           "RATELESS_FAMILIES"]
 
 
-def block_seed(seed: int, block: int) -> int:
-    """A per-block seed derived from one shared transfer seed.
-
-    Distinct for every ``(seed, block)`` pair a transfer can hold, and
-    computable independently by sender and receiver.
-    """
-    return (int(seed) * _GOLDEN + int(block)) % 2 ** 32
-
-
-def _tornado_factory(preset: str) -> Callable:
-    factory = TORNADO_PRESETS[preset]
-
-    def build(k: int, seed: int):
-        return factory(k, seed=seed)
+def _registry_factory(name: str) -> Callable[[int, int], Any]:
+    def build(k: int, seed: int) -> Any:
+        return REGISTRY.build(name, k, seed=seed)
 
     return build
 
 
-def _lt_factory(k: int, seed: int) -> LTCode:
-    return LTCode(k, degree_dist=robust_soliton(k), seed=seed)
-
-
-def _rs_factory(k: int, seed: int):
-    # Cauchy RS is deterministic; the seed is irrelevant but accepted so
-    # every family shares one constructor signature.
-    return cauchy_code(k)
-
-
-#: family name -> ``build(k, seed)`` constructor for one block's code.
-CODE_FAMILIES: Dict[str, Callable] = {
-    "tornado-a": _tornado_factory("tornado-a"),
-    "tornado-b": _tornado_factory("tornado-b"),
-    "lt": _lt_factory,
-    "rs": _rs_factory,
+#: Deprecated shim: family name -> ``build(k, seed)`` constructor.
+#: New code should call :func:`repro.codes.registry.build_code` instead.
+CODE_FAMILIES: Dict[str, Callable[[int, int], Any]] = {
+    name: _registry_factory(name) for name in REGISTRY.names()
 }
 
-#: families with no fixed ``n`` (served rateless, not by carousel).
-RATELESS_FAMILIES = frozenset({"lt"})
+#: Deprecated shim: families with no fixed ``n`` (served rateless).
+RATELESS_FAMILIES = frozenset(
+    family.name for family in REGISTRY if family.rateless)
 
 
 class ObjectCodec:
@@ -81,27 +59,44 @@ class ObjectCodec:
     ----------
     plan:
         The block geometry (see :class:`~repro.transfer.blocks.BlockPlan`).
-    family:
-        Per-block code family, a key of :data:`CODE_FAMILIES`.
+    code:
+        Per-block code spec — any registry spec string (or parsed
+        :class:`~repro.codes.registry.CodeSpec`), e.g. ``"tornado-b"``
+        or ``"lt:c=0.05,delta=0.5"``.
     seed:
         Shared transfer seed; block ``b`` uses ``block_seed(seed, b)``.
+    family:
+        Deprecated alias of ``code`` (kept so pre-registry callers keep
+        working).
     """
 
-    def __init__(self, plan: BlockPlan, family: str = "tornado-b",
-                 seed: int = 2024):
-        if family not in CODE_FAMILIES:
-            raise ParameterError(
-                f"unknown code family {family!r}; "
-                f"choose from {sorted(CODE_FAMILIES)}")
+    def __init__(self, plan: BlockPlan,
+                 code: Union[str, CodeSpec, None] = None,
+                 seed: int = 2024, *,
+                 family: Union[str, CodeSpec, None] = None):
+        if code is not None and family is not None:
+            raise ParameterError("pass either code= or family=, not both")
+        if code is None:
+            code = family if family is not None else "tornado-b"
+        self.spec = REGISTRY.spec(code)
         self.plan = plan
-        self.family = family
         self.seed = int(seed)
-        self._codes: Dict[int, object] = {}
+        self._codes: Dict[int, Any] = {}
+
+    @property
+    def code_spec(self) -> str:
+        """Canonical spec string (what the manifest records)."""
+        return self.spec.to_string()
+
+    @property
+    def family(self) -> str:
+        """The spec's family name (``"lt"``, ``"tornado-b"``, ...)."""
+        return self.spec.family
 
     @property
     def is_rateless(self) -> bool:
         """True when blocks are served as unbounded droplet streams."""
-        return self.family in RATELESS_FAMILIES
+        return REGISTRY.is_rateless(self.spec)
 
     @property
     def num_blocks(self) -> int:
@@ -112,13 +107,33 @@ class ObjectCodec:
         """Source packets across all blocks (= the plan's total)."""
         return self.plan.total_packets
 
-    def code_for(self, block: int):
+    def code_for(self, block: int) -> Any:
         """The (cached) erasure code of ``block``."""
         if block not in self._codes:
             spec = self.plan.spec(block)
-            self._codes[block] = CODE_FAMILIES[self.family](
-                spec.k, block_seed(self.seed, block))
+            self._codes[block] = REGISTRY.build(
+                self.spec, spec.k, seed=block_seed(self.seed, block))
         return self._codes[block]
+
+    def check_wire_dtype(self, block: int) -> None:
+        """Reject codes whose symbols cannot ride the byte wire format.
+
+        Reed-Solomon blocks beyond 128 packets (n > 256) fall back to
+        GF(2^16) and would emit two wire bytes per payload byte — the
+        stream's fixed ``packet_size``-byte records cannot carry that,
+        so fail fast with an actionable message instead of writing a
+        corrupt stream.
+        """
+        code = self.code_for(block)
+        field = getattr(code, "field", None)
+        if field is not None and np.dtype(field.dtype).itemsize != 1:
+            max_k = 256 // max(2, int(round(code.n / code.k)))
+            raise ParameterError(
+                f"{self.code_spec}: block {block} (k={code.k}, n={code.n}) "
+                f"needs {field!r} symbols wider than one byte, which the "
+                "byte-oriented packet stream cannot carry; keep blocks at "
+                f"~{max_k} packets or fewer (lower the block size or raise "
+                "the packet size)")
 
     def source_block(self, data: bytes, block: int) -> np.ndarray:
         """Block ``block``'s ``(k, P)`` source array of ``data``."""
@@ -128,17 +143,18 @@ class ObjectCodec:
         """The ``(n, P)`` encoding of one block (fixed-rate families)."""
         if self.is_rateless:
             raise ParameterError(
-                f"{self.family} is rateless — there is no finite encoding; "
-                "serve the block through a RatelessServer instead")
+                f"{self.code_spec} is rateless — there is no finite "
+                "encoding; serve the block through a RatelessServer instead")
+        self.check_wire_dtype(block)
         return self.code_for(block).encode(self.source_block(data, block))
 
     # -- manifest round-trip ---------------------------------------------------
 
-    def to_manifest(self, **extra) -> dict:
+    def to_manifest(self, **extra: Any) -> dict:
         """A JSON-able dict from which a receiver rebuilds this codec."""
         manifest = {
             "kind": "transfer",
-            "code": self.family,
+            "code": self.code_spec,
             "seed": self.seed,
             "file_size": self.plan.file_size,
             "packet_size": self.plan.packet_size,
@@ -161,9 +177,9 @@ class ObjectCodec:
             raise ProtocolError(
                 f"manifest claims {manifest['num_blocks']} blocks but the "
                 f"geometry yields {plan.num_blocks}")
-        return cls(plan, family=manifest["code"], seed=manifest["seed"])
+        return cls(plan, code=manifest["code"], seed=manifest["seed"])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"ObjectCodec(family={self.family!r}, "
+        return (f"ObjectCodec(code={self.code_spec!r}, "
                 f"blocks={self.num_blocks}, total_k={self.total_k}, "
                 f"seed={self.seed})")

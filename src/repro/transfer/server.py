@@ -23,7 +23,8 @@ from repro.errors import ParameterError
 from repro.fountain.carousel import CarouselServer
 from repro.fountain.packets import EncodingPacket, HeaderSequencer
 from repro.fountain.rateless import RatelessServer
-from repro.transfer.codec import ObjectCodec, block_seed
+from repro.codes.registry import block_seed
+from repro.transfer.codec import ObjectCodec
 from repro.transfer.schedule import make_schedule
 
 
@@ -102,5 +103,5 @@ class TransferServer:
         self._streams = [server.packets() for server in self.block_servers]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"TransferServer(family={self.codec.family!r}, "
+        return (f"TransferServer(code={self.codec.code_spec!r}, "
                 f"blocks={self.num_blocks}, schedule={self.schedule!r})")

@@ -175,3 +175,34 @@ class TestCli:
         assert cli.main(["info", "--k", "500"]) == 0
         out = capsys.readouterr().out
         assert "tornado-a k=500" in out
+
+    def test_codes_list(self, capsys):
+        assert cli.main(["codes", "list"]) == 0
+        out = capsys.readouterr().out
+        # Every registered family appears, with parameters and modes.
+        for family in ("tornado-a", "tornado-b", "lt", "rs"):
+            assert f"\n{family}\n" in f"\n{out}"
+        assert "c=0.03" in out and "delta=0.1" in out
+        assert "construction='cauchy'" in out
+        assert "carousel" in out and "rateless" in out and "layered" in out
+        assert "yes (no n)" in out  # lt is flagged rateless
+
+    def test_send_accepts_spec_strings(self, tmp_path, capsys):
+        original = tmp_path / "input.bin"
+        original.write_bytes(bytes(np.random.default_rng(2).integers(
+            0, 256, 30_000, dtype=np.uint8)))
+        out_dir = tmp_path / "out"
+        assert cli.main(["send", str(original), str(out_dir),
+                         "--code", "lt:c=0.05,delta=0.5",
+                         "--block-size", "8192", "--loss", "0.1"]) == 0
+        assert "lt:c=0.05,delta=0.5" in capsys.readouterr().out
+        back = tmp_path / "back.bin"
+        assert cli.main(["recv", str(out_dir), str(back)]) == 0
+        assert back.read_bytes() == original.read_bytes()
+
+    def test_send_rejects_unknown_spec(self, tmp_path, capsys):
+        original = tmp_path / "input.bin"
+        original.write_bytes(b"z" * 10_000)
+        assert cli.main(["send", str(original), str(tmp_path / "out"),
+                         "--code", "raptorq"]) == 2
+        assert "registered families" in capsys.readouterr().err

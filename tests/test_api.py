@@ -1,0 +1,156 @@
+"""The repro.api facade: sessions and one-call file transfer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.errors import (
+    DecodeFailure,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+)
+from repro.net.channel import LossyChannel
+from repro.net.loss import BernoulliLoss
+
+
+def _random_bytes(n, seed):
+    return bytes(np.random.default_rng(seed).integers(0, 256, n,
+                                                      dtype=np.uint8))
+
+
+class TestSessions:
+    @pytest.mark.parametrize("spec", ["tornado-b", "lt", "rs"])
+    def test_in_memory_round_trip(self, spec):
+        data = _random_bytes(60_000, seed=1)
+        sender = api.SenderSession(data, code=spec, packet_size=256,
+                                   block_size=8_192, seed=7)
+        receiver = api.ReceiverSession(sender.manifest())
+        assert receiver.code_spec == sender.code_spec
+        channel = LossyChannel(BernoulliLoss(0.15), rng=2)
+        for packet in channel.transmit(sender.packets()):
+            if receiver.receive(packet):
+                break
+        assert receiver.is_complete
+        assert receiver.data() == data
+        assert receiver.stats().efficiency > 0.4
+
+    def test_spec_parameters_flow_through_manifest(self):
+        data = _random_bytes(5_000, seed=2)
+        sender = api.SenderSession(data, code="lt:c=0.05,delta=0.5",
+                                   packet_size=128, block_size=2_048)
+        manifest = sender.manifest()
+        assert manifest["code"] == "lt:c=0.05,delta=0.5"
+        receiver = api.ReceiverSession(json.loads(json.dumps(manifest)))
+        assert receiver.codec.spec.param_dict == {"c": 0.05, "delta": 0.5}
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(ReproError, match="empty"):
+            api.SenderSession(b"")
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ParameterError, match="registered families"):
+            api.SenderSession(b"x" * 100, code="raptorq")
+
+    def test_progress_and_packets_used(self):
+        data = _random_bytes(20_000, seed=3)
+        sender = api.SenderSession(data, code="tornado-b",
+                                   packet_size=256, block_size=4_096)
+        receiver = api.ReceiverSession(sender.manifest())
+        assert receiver.progress == 0.0
+        for packet in sender.packets():
+            if receiver.receive(packet):
+                break
+        assert receiver.progress == 1.0
+        assert receiver.packets_used >= sender.total_k
+
+
+class TestSendReceiveFiles:
+    @pytest.mark.parametrize("spec", ["tornado-b", "lt", "rs"])
+    def test_megabyte_at_20_percent_loss(self, tmp_path, spec):
+        """Acceptance: >= 1 MiB, 20% loss, byte-exact, spec strings only."""
+        blob = _random_bytes(1_100_000, seed=41)
+        src = tmp_path / "big.bin"
+        src.write_bytes(blob)
+        out = tmp_path / "out"
+        # rs blocks stay within GF(2^8): at most 128 packets per block.
+        block_size = 128 * 1024 if spec == "rs" else 256 * 1024
+        report = api.send_file(src, out, code=spec, loss=0.2, extra=8,
+                               block_size=block_size, seed=5)
+        assert report.code_spec == spec
+        assert report.survivors >= report.total_k
+        assert (out / api.STREAM_NAME).exists()
+        back = tmp_path / "back.bin"
+        received = api.receive_stream(out, back)
+        assert back.read_bytes() == blob
+        assert received.data == blob
+        assert received.code_spec == spec
+        assert received.file_name == "big.bin"
+
+    def test_manifest_contents(self, tmp_path):
+        src = tmp_path / "f.bin"
+        src.write_bytes(_random_bytes(30_000, seed=6))
+        report = api.send_file(src, tmp_path / "out", code="tornado-b",
+                               block_size=8_192)
+        manifest = json.loads(
+            (tmp_path / "out" / api.MANIFEST_NAME).read_text())
+        assert manifest["kind"] == "transfer"
+        assert manifest["code"] == "tornado-b"
+        assert manifest["file_name"] == "f.bin"
+        assert manifest["packets_written"] == report.survivors
+
+    def test_too_lossy_channel_raises_and_drops_manifest(self, tmp_path):
+        src = tmp_path / "f.bin"
+        src.write_bytes(_random_bytes(20_000, seed=7))
+        out = tmp_path / "out"
+        api.send_file(src, out, block_size=4_096)
+        with pytest.raises(ReproError, match="too lossy"):
+            api.send_file(src, out, block_size=4_096, loss=0.999)
+        assert not (out / api.MANIFEST_NAME).exists()
+
+    def test_receive_requires_manifest(self, tmp_path):
+        with pytest.raises(ProtocolError, match="manifest"):
+            api.receive_stream(tmp_path)
+
+    def test_truncated_stream_detected(self, tmp_path):
+        src = tmp_path / "f.bin"
+        src.write_bytes(_random_bytes(20_000, seed=8))
+        out = tmp_path / "out"
+        api.send_file(src, out, block_size=4_096, packet_size=500)
+        stream = out / api.STREAM_NAME
+        stream.write_bytes(stream.read_bytes()[:-7])
+        with pytest.raises(ReproError, match="record"):
+            api.receive_stream(out)
+
+    def test_insufficient_stream_raises_decode_failure(self, tmp_path):
+        src = tmp_path / "f.bin"
+        src.write_bytes(_random_bytes(20_000, seed=9))
+        out = tmp_path / "out"
+        api.send_file(src, out, block_size=4_096, packet_size=500)
+        stream = out / api.STREAM_NAME
+        raw = stream.read_bytes()
+        record = 500 + 16
+        stream.write_bytes(raw[: (len(raw) // record // 2) * record])
+        with pytest.raises(DecodeFailure, match="not enough"):
+            api.receive_stream(out)
+
+    def test_report_overhead(self, tmp_path):
+        src = tmp_path / "f.bin"
+        src.write_bytes(_random_bytes(50_000, seed=10))
+        report = api.send_file(src, tmp_path / "out", code="lt",
+                               block_size=16_384, loss=0.1)
+        assert report.reception_overhead == pytest.approx(
+            report.survivors / report.total_k - 1)
+        assert report.sent >= report.survivors
+
+
+class TestTopLevelExports:
+    def test_facade_reachable_from_repro(self):
+        import repro
+
+        assert repro.send_file is api.send_file
+        assert repro.receive_stream is api.receive_stream
+        assert repro.SenderSession is api.SenderSession
+        assert repro.ReceiverSession is api.ReceiverSession

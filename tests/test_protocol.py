@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.codes.registry import build_code
 from repro.codes.tornado.presets import tornado_a
 from repro.errors import ParameterError
 from repro.net.loss import BernoulliLoss
@@ -10,7 +11,11 @@ from repro.protocol.congestion import CongestionPolicy, SubscriptionController
 from repro.protocol.layering import LayerConfig
 from repro.protocol.receiver import LayeredReceiver
 from repro.protocol.server import LayeredServer
-from repro.protocol.session import run_session, run_single_layer_session
+from repro.protocol.session import (
+    SessionResult,
+    run_session,
+    run_single_layer_session,
+)
 
 
 class TestCongestionPolicy:
@@ -128,6 +133,40 @@ class TestLayeredServer:
         per_layer, _ = server.next_round()
         assert per_layer[3].size == 4 * 16
 
+    def test_rateless_sweep_tiles_fresh_ids(self):
+        """A rateless code's schedule mints every slot's droplet id
+        exactly once per sweep, and never reuses one across sweeps."""
+        code = build_code("lt", 512, seed=0)
+        config = LayerConfig(4)
+        policy = CongestionPolicy(burst_interval=100, burst_length=0)
+        server = LayeredServer(code, config, policy, seed=1)
+        first_sweep = []
+        for _ in range(server.rounds_per_sweep):
+            per_layer, _ = server.next_round()
+            first_sweep.extend(np.concatenate(per_layer).tolist())
+        assert sorted(first_sweep) == list(range(server.schedule_size))
+        second_sweep = []
+        for _ in range(server.rounds_per_sweep):
+            per_layer, _ = server.next_round()
+            second_sweep.extend(np.concatenate(per_layer).tolist())
+        assert not set(first_sweep) & set(second_sweep)
+
+    def test_rateless_cycle_length_override(self):
+        code = build_code("lt", 100, seed=0)
+        config = LayerConfig(2)
+        policy = CongestionPolicy(burst_interval=100, burst_length=0)
+        server = LayeredServer(code, config, policy, cycle_length=64)
+        assert server.schedule_size == 64
+        with pytest.raises(ParameterError):
+            LayeredServer(code, config, policy, cycle_length=0)
+
+    def test_cycle_length_rejected_for_fixed_rate(self):
+        code = tornado_a(128, seed=0)
+        config = LayerConfig(2)
+        policy = CongestionPolicy(burst_interval=100, burst_length=0)
+        with pytest.raises(ParameterError, match="rateless"):
+            LayeredServer(code, config, policy, cycle_length=64)
+
 
 class TestLayeredReceiver:
     def _setup(self, capacity, loss):
@@ -186,3 +225,90 @@ class TestSessions:
         code = tornado_a(100, seed=0)
         with pytest.raises(ParameterError):
             run_session(code, [0.1], [1.0, 2.0])
+
+    @pytest.mark.parametrize("spec", ["tornado-a", "lt", "rs"])
+    def test_layered_session_over_any_registered_code(self, spec):
+        """The scenario unlock: layered multicast over every family."""
+        results = run_session(code_spec=spec, k=300,
+                              ambient_loss_rates=[0.05, 0.15],
+                              capacity_multipliers=[8.0, 2.0], seed=7)
+        assert all(r.completed for r in results)
+        assert all(0 < r.efficiency <= 1 for r in results)
+        assert all(r.code_spec == spec for r in results)
+
+    @pytest.mark.parametrize("spec", ["tornado-a", "lt", "rs"])
+    def test_single_layer_session_over_any_registered_code(self, spec):
+        results = run_single_layer_session(code_spec=spec, k=300,
+                                           loss_rates=[0.2], seed=4)
+        assert results[0].completed
+        # LT and RS never see a wrap-around duplicate below half loss;
+        # the fountain (fresh droplet ids) never sees one at all.
+        assert results[0].distinctness_efficiency == pytest.approx(1.0)
+
+    def test_rateless_session_distinctness_is_one_at_heavy_loss(self):
+        """The carousel degrades past ~50% loss (One Level Property
+        ceiling); the rateless fountain does not."""
+        results = run_single_layer_session(code_spec="lt", k=300,
+                                           loss_rates=[0.65], seed=5)
+        assert results[0].completed
+        assert results[0].distinctness_efficiency == pytest.approx(1.0)
+
+    def test_spec_string_as_positional_code(self):
+        results = run_session("rs", [0.1], [4.0], k=200, seed=3)
+        assert results[0].completed
+        assert results[0].code_spec == "rs"
+
+    def test_spec_with_parameters_labels_results(self):
+        results = run_single_layer_session(
+            code_spec="lt:c=0.05,delta=0.5", k=200, loss_rates=[0.1],
+            seed=2)
+        assert results[0].code_spec == "lt:c=0.05,delta=0.5"
+
+    def test_code_spec_requires_k(self):
+        with pytest.raises(ParameterError, match="k"):
+            run_session(code_spec="lt", ambient_loss_rates=[0.1],
+                        capacity_multipliers=[1.0])
+
+    def test_code_and_code_spec_mutually_exclusive(self):
+        code = tornado_a(100, seed=0)
+        with pytest.raises(ParameterError, match="not both"):
+            run_session(code, [0.1], [1.0], code_spec="lt", k=100)
+        with pytest.raises(ParameterError, match="required"):
+            run_session(ambient_loss_rates=[0.1],
+                        capacity_multipliers=[1.0])
+
+
+class TestSessionResult:
+    def _result(self, **overrides):
+        fields = dict(
+            receiver_id=3,
+            observed_loss=0.125,
+            efficiency=0.8,
+            coding_efficiency=0.9,
+            distinctness_efficiency=0.888,
+            completed=True,
+            rounds=17,
+            level_changes=2,
+            code_spec="lt:c=0.05",
+            overhead=0.25,
+        )
+        fields.update(overrides)
+        return SessionResult(**fields)
+
+    def test_as_row_contents(self):
+        row = self._result().as_row()
+        assert "recv   3" in row
+        assert "lt:c=0.05" in row          # the code spec is in the row
+        assert "overhead +25.0%" in row    # and so is the overhead
+        assert "loss  12.5%" in row
+        assert "eta  80.0%" in row
+
+    def test_as_row_matches_session_output(self):
+        result = run_single_layer_session(code_spec="tornado-a", k=200,
+                                          loss_rates=[0.1], seed=1)[0]
+        row = result.as_row()
+        assert "tornado-a" in row
+        assert f"{result.overhead:+6.1%}" in row
+        # overhead and efficiency describe the same reception count.
+        assert result.overhead == pytest.approx(
+            1 / result.efficiency - 1, abs=0.02)

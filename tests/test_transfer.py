@@ -133,6 +133,27 @@ class TestObjectCodec:
         with pytest.raises(ProtocolError):
             ObjectCodec.from_manifest({"kind": "shards"})
 
+    def test_wide_symbol_rs_blocks_fail_fast(self):
+        """rs blocks beyond 128 packets need GF(2^16) symbols the byte
+        wire cannot carry; the codec must refuse instead of writing a
+        corrupt stream (sender and payload-mode receiver paths)."""
+        data = _random_bytes(200 * 100, 7)
+        plan = BlockPlan(len(data), 100, 200)  # one block, k=200, n=400
+        codec = ObjectCodec(plan, code="rs", seed=1)
+        with pytest.raises(ParameterError, match="wider than one byte"):
+            codec.encode_block(data, 0)
+        client = TransferClient(codec)  # payload mode
+        with pytest.raises(ParameterError, match="wider than one byte"):
+            client.receive_index(0, 0, np.zeros(100, dtype=np.uint8))
+        # Structural (index-only) simulation stays allowed.
+        shadow = TransferClient(codec, payload_size=None)
+        assert shadow.receive_index(0, 0) is False
+
+    def test_narrow_rs_blocks_unaffected_by_wire_guard(self):
+        plan = BlockPlan(1000, 100, 10)  # k=10 per block, GF(2^8)
+        codec = ObjectCodec(plan, code="rs", seed=1)
+        codec.check_wire_dtype(0)  # does not raise
+
 
 class TestSchedules:
     def test_sequential_visits_blocks_in_order(self):
