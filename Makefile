@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-transfer docs-check typecheck all
+.PHONY: test test-udp bench-smoke bench-transfer bench-udp docs-check \
+	typecheck all
 
 all: test docs-check typecheck
 
@@ -12,9 +13,15 @@ all: test docs-check typecheck
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Just the transport layer (framing, pacing, memory/file/UDP delivery).
+# Binds real loopback sockets; skips gracefully where unavailable.
+test-udp:
+	$(PYTHON) -m pytest -q tests/test_transport.py
+
 # One quick pass over the benchmark suite — catches rot in the
 # table/figure harnesses without paying for full measurement runs.
-# Includes the block-segmented transfer sweep (bench_transfer_blocks).
+# Includes the transfer sweep and the UDP throughput bench, which
+# publish BENCH_transfer.json / BENCH_udp.json at the repo root.
 bench-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_*.py
 
@@ -23,9 +30,13 @@ bench-smoke:
 bench-transfer:
 	$(PYTHON) -m pytest -q benchmarks/bench_transfer_blocks.py
 
+# UDP loopback delivery: sender spray rate + end-to-end goodput.
+bench-udp:
+	$(PYTHON) -m pytest -q benchmarks/bench_udp_throughput.py
+
 # Fails if any ```python block in the docs does not run as written.
 docs-check:
-	$(PYTHON) tools/check_docs.py README.md
+	$(PYTHON) tools/check_docs.py README.md docs/ARCHITECTURE.md
 
 # mypy over the typed core: the registry protocols, the repro.api
 # facade, and the protocol layer that consumes them (config: mypy.ini).

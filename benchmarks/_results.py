@@ -1,0 +1,53 @@
+"""Machine-readable benchmark summaries (the ``BENCH_*.json`` files).
+
+pytest-benchmark's own JSON needs ``--benchmark-json`` and buries the
+domain metrics inside ``extra_info``; these recorders give each bench
+module a one-call way to publish the numbers that actually track the
+project's perf trajectory (reception overhead, goodput, packets per
+second) as a small stable JSON file at the repo root.  The conftest's
+``pytest_sessionfinish`` hook flushes every recorder that collected
+rows, so a partial run (``-k``) only rewrites the files it touched.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_RECORDERS: List["BenchRecorder"] = []
+
+
+class BenchRecorder:
+    """Collects metric rows for one ``BENCH_<name>.json`` summary."""
+
+    def __init__(self, file_name: str):
+        self.path = REPO_ROOT / file_name
+        self.rows: List[Dict[str, Any]] = []
+        _RECORDERS.append(self)
+
+    def record(self, case: str, **metrics: Any) -> None:
+        """Add one result row (numbers or short strings only)."""
+        self.rows.append({"case": case, **metrics})
+
+    def flush(self) -> None:
+        if not self.rows:
+            return
+        payload = {
+            "generated_unix": round(time.time(), 1),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": sorted(self.rows, key=lambda row: row["case"]),
+        }
+        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                             + "\n")
+
+
+def flush_all() -> None:
+    """Write every recorder that collected rows this session."""
+    for recorder in _RECORDERS:
+        recorder.flush()

@@ -9,12 +9,17 @@ This sweep runs the full pipeline through
 encode, striped stream through a Bernoulli channel, per-block
 incremental decode, byte-exact reassembly) at three block sizes per
 code family and reports reception overhead and end-to-end goodput.
+
+Every measurement is also published to ``BENCH_transfer.json`` at the
+repo root (see ``_results.BenchRecorder``), so the perf trajectory is
+machine-readable across PRs.
 """
 
 import time
 
 import pytest
 
+from _results import BenchRecorder
 from repro.sim.transfer import simulate_transfer
 
 FILE_SIZE = 384 * 1024
@@ -23,6 +28,8 @@ LOSS = 0.1
 
 #: source packets per block — the swept axis (>= 3 sizes).
 BLOCK_PACKETS = [64, 128, 384]
+
+RESULTS = BenchRecorder("BENCH_transfer.json")
 
 
 def _run_pipeline(family, block_packets, schedule="interleave"):
@@ -49,6 +56,17 @@ def test_transfer_block_size_sweep(benchmark, family, block_packets):
         result.reception_overhead, 4)
     benchmark.extra_info["throughput_MBps"] = round(
         FILE_SIZE / elapsed / 1e6, 3)
+    RESULTS.record(
+        f"{family}-bk{block_packets}",
+        family=family,
+        block_packets=block_packets,
+        num_blocks=result.num_blocks,
+        file_size=FILE_SIZE,
+        loss=LOSS,
+        reception_overhead=round(result.reception_overhead, 4),
+        throughput_MBps=round(FILE_SIZE / elapsed / 1e6, 3),
+        seconds=round(elapsed, 4),
+    )
     assert result.reception_overhead < 1.0
 
 
@@ -65,4 +83,9 @@ def test_transfer_schedule_gap(benchmark):
         inter.reception_overhead, 4)
     benchmark.extra_info["sequential_overhead"] = round(
         seq.reception_overhead, 4)
+    RESULTS.record(
+        "schedule-gap-tornado-b-bk128",
+        interleave_overhead=round(inter.reception_overhead, 4),
+        sequential_overhead=round(seq.reception_overhead, 4),
+    )
     assert inter.packets_received < seq.packets_received

@@ -1,0 +1,134 @@
+"""UDP loopback delivery: sender rate and end-to-end goodput.
+
+What the transport layer actually buys: real datagrams over real
+sockets.  Two measurements per code family —
+
+* **spray rate**: how fast the asyncio sender can push framed packets
+  through a loopback socket (no receiver decode in the loop), and
+* **end-to-end goodput**: wall-clock from first datagram to a
+  byte-exact reconstruction at a concurrently running receiver, with
+  injected Bernoulli loss so the erasure path is exercised.
+
+Results are published to ``BENCH_udp.json`` at the repo root.  Skips
+gracefully where loopback UDP sockets are unavailable.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from _results import BenchRecorder
+from repro import api
+from repro.net.transport import UdpSubscription, UdpTransport
+
+FILE_SIZE = 384 * 1024
+PACKET_SIZE = 1024
+LOSS = 0.1
+
+RESULTS = BenchRecorder("BENCH_udp.json")
+
+
+def _udp_available():
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+        return True
+    except OSError:
+        return False
+
+
+pytestmark = pytest.mark.skipif(
+    not _udp_available(), reason="UDP loopback sockets unavailable")
+
+
+def _random_bytes(n, seed):
+    return bytes(np.random.default_rng(seed).integers(0, 256, n,
+                                                      dtype=np.uint8))
+
+
+def _deliver(family):
+    """One full UDP delivery; returns (report, receiver, seconds)."""
+    data = _random_bytes(FILE_SIZE, seed=5)
+    session = api.SenderSession(data, code=family,
+                                packet_size=PACKET_SIZE, seed=7)
+    sub = UdpSubscription("127.0.0.1:0", timeout=10.0)
+    transport = UdpTransport([sub.address], loss=LOSS, seed=8)
+    receiver = api.ReceiverSession(json.loads(json.dumps(
+        session.manifest())))
+    errors = []
+
+    def drink():
+        try:
+            sub.feed(receiver, timeout=10.0)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    thread = threading.Thread(target=drink)
+    start = time.perf_counter()
+    thread.start()
+    try:
+        report = session.serve(transport, count=100 * session.total_k,
+                               stop=lambda: receiver.is_complete)
+    finally:
+        thread.join(timeout=10.0)
+        sub.close()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    assert receiver.data() == data
+    return report, receiver, elapsed
+
+
+@pytest.mark.parametrize("family", ["tornado-b", "lt"])
+def test_udp_end_to_end_goodput(benchmark, family):
+    """File in, datagrams across loopback with loss, byte-exact file out."""
+
+    (report, receiver, elapsed) = benchmark.pedantic(
+        _deliver, args=(family,), rounds=1, iterations=1)
+    goodput = FILE_SIZE / elapsed / 1e6
+    benchmark.extra_info["goodput_MBps"] = round(goodput, 3)
+    benchmark.extra_info["packets_used"] = receiver.packets_used
+    RESULTS.record(
+        f"end-to-end-{family}",
+        family=family,
+        file_size=FILE_SIZE,
+        loss=LOSS,
+        goodput_MBps=round(goodput, 3),
+        sender_pps=round(report.packets_per_second),
+        packets_used=receiver.packets_used,
+        reception_overhead=round(
+            receiver.stats().reception_overhead, 4),
+        seconds=round(elapsed, 4),
+    )
+    assert receiver.is_complete
+
+
+def test_udp_spray_rate(benchmark):
+    """Raw framed-datagram send rate through one loopback socket."""
+    data = _random_bytes(128 * 1024, seed=9)
+    session = api.SenderSession(data, code="tornado-b",
+                                packet_size=PACKET_SIZE, seed=3)
+    sink = UdpSubscription("127.0.0.1:0", timeout=2.0)
+    transport = UdpTransport([sink.address])
+    count = 4000
+
+    def spray():
+        return session.serve(transport, count=count)
+
+    report = benchmark.pedantic(spray, rounds=1, iterations=1)
+    sink.close()
+    pps = report.packets_per_second
+    benchmark.extra_info["sender_pps"] = round(pps)
+    RESULTS.record(
+        "spray-rate",
+        packets=count,
+        packet_size=PACKET_SIZE,
+        sender_pps=round(pps),
+        megabytes_per_second=round(pps * PACKET_SIZE / 1e6, 2),
+    )
+    assert report.emitted == count

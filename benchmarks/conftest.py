@@ -9,6 +9,13 @@ flags to reach full paper scale.
 import numpy as np
 import pytest
 
+from _results import flush_all
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Publish the BENCH_*.json summaries collected by this run."""
+    flush_all()
+
 
 @pytest.fixture
 def rng():

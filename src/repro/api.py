@@ -23,8 +23,21 @@ machinery is exposed as two session objects:
             break
     assert receiver.data() == data
 
-``send_file`` writes the surviving packets of a simulated lossy channel
-into ``out/stream.pkt`` plus a JSON manifest; ``receive_stream`` replays
+Delivery itself is pluggable: any :mod:`repro.net.transport` transport
+serves a session's stream — in-memory queues, a recorded ``stream.pkt``
+directory, or real asyncio UDP datagrams::
+
+    from repro.net.transport import UdpTransport
+
+    transport = UdpTransport(["127.0.0.1:9000"], pace=5000)
+    subscription = transport.subscribe()
+    sender.serve(transport, stop=...)                  # sprays datagrams
+    receiver = ReceiverSession.from_subscription(subscription)
+    subscription.feed(receiver)
+
+``send_file`` serves a file through a :class:`FileTransport` (writing
+the surviving packets of a simulated lossy channel into
+``out/stream.pkt`` plus a JSON manifest); ``receive_stream`` replays
 the survivors into per-block incremental decoders and reconstructs the
 byte-exact original.  Both speak only spec strings — no code class ever
 crosses the API boundary.
@@ -32,17 +45,22 @@ crosses the API boundary.
 
 from __future__ import annotations
 
-import json
 import pathlib
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Any, Iterator, Optional, Union
 
 from repro.codes.registry import CodeSpec
-from repro.errors import DecodeFailure, ProtocolError, ReproError
+from repro.errors import DecodeFailure, ReproError
 from repro.fountain.metrics import ReceptionStats
 from repro.fountain.packets import EncodingPacket
-from repro.net.channel import LossyChannel
-from repro.net.loss import BernoulliLoss
+from repro.net.transport.base import ServeReport, Subscription, Transport
+from repro.net.transport.file import (
+    MANIFEST_NAME,
+    STREAM_NAME,
+    FileTransport,
+    manifest_block_aware,
+    record_size,
+)
 from repro.transfer.blocks import BlockPlan
 from repro.transfer.client import TransferClient
 from repro.transfer.codec import ObjectCodec
@@ -58,12 +76,6 @@ __all__ = [
     "receive_stream",
     "send_file",
 ]
-
-MANIFEST_NAME = "manifest.json"
-STREAM_NAME = "stream.pkt"
-
-#: emission budget per source packet before a send is declared stuck.
-_EMISSION_LIMIT_FACTOR = 200
 
 
 class SenderSession:
@@ -116,10 +128,35 @@ class SenderSession:
     def total_k(self) -> int:
         return self.codec.total_k
 
+    @property
+    def source(self) -> TransferServer:
+        """The session's packet source (the striped transfer server)."""
+        return self.server
+
     def packets(self, count: Optional[int] = None
                 ) -> Iterator[EncodingPacket]:
         """The striped packet stream (infinite when ``count`` is None)."""
         return self.server.packets(count)
+
+    def new_stream(self, *, seed: Optional[int] = None,
+                   schedule: Optional[str] = None) -> TransferServer:
+        """An additional independent stream over the *same* encodings.
+
+        The encode-once/serve-many path: every stream forked here
+        shares the per-block payload cache, so serving one object to
+        many receivers (or over several transports) pays for exactly
+        one encode.
+        """
+        return self.server.fork(seed=seed, schedule=schedule)
+
+    def serve(self, transport: Transport, **options: Any) -> ServeReport:
+        """Serve this session's stream through any registered transport.
+
+        ``options`` pass straight to the transport's ``serve`` —
+        ``count``/``extra`` for memory and file, ``count``/``duration``/
+        ``stop`` for UDP.
+        """
+        return transport.serve(self, **options)
 
     def manifest(self, **extra: object) -> dict:
         """The JSON-able manifest a :class:`ReceiverSession` needs."""
@@ -147,12 +184,27 @@ class ReceiverSession:
         self.manifest = manifest
         self.codec = ObjectCodec.from_manifest(manifest)
         self.client = TransferClient(self.codec)
-        self.block_aware = bool(manifest.get("block_header",
-                                             self.codec.num_blocks > 1))
-        self.header_size = 16 if self.block_aware else 12
-        #: bytes per on-wire packet record (header + payload).
-        self.record_size = self.header_size + self.codec.plan.packet_size
+        if "block_header" not in manifest and "num_blocks" not in manifest:
+            # Minimal hand-built manifests: derive the block count from
+            # the rebuilt plan so the header-size inference still holds.
+            manifest = dict(manifest, num_blocks=self.codec.num_blocks)
+        self.block_aware = manifest_block_aware(manifest)
+        #: bytes per on-wire packet record (header + payload); the
+        #: geometry derivation is shared with the file transport.
+        self.record_size = record_size(manifest)
+        self.header_size = self.record_size - self.codec.plan.packet_size
         self.packets_used = 0
+
+    @classmethod
+    def from_subscription(cls, subscription: Subscription,
+                          timeout: Optional[float] = None
+                          ) -> "ReceiverSession":
+        """A session built from a transport subscription's manifest.
+
+        Waits for the manifest on live transports (UDP re-sends it
+        in-band); drive the session with ``subscription.feed(session)``.
+        """
+        return cls(subscription.manifest(timeout=timeout))
 
     @property
     def code_spec(self) -> str:
@@ -259,12 +311,13 @@ def send_file(input_path: Union[str, pathlib.Path],
               extra: int = 0) -> SendReport:
     """Stream a file across a simulated lossy channel into ``out_dir``.
 
-    Writes ``stream.pkt`` (the surviving packet records) and
-    ``manifest.json`` (everything :func:`receive_stream` needs).  A
-    structural shadow receiver tells the sender when the recorded
-    survivors have become decodable — mimicking a receiver-driven
-    session without paying for a second payload decode — after which
-    ``extra`` more survivors are recorded as safety margin.
+    A thin wrapper over the file transport
+    (:class:`repro.net.transport.file.FileTransport`): writes
+    ``stream.pkt`` (the surviving packet records) and ``manifest.json``
+    (everything :func:`receive_stream` needs).  A structural shadow
+    receiver tells the sender when the recorded survivors have become
+    decodable, after which ``extra`` more survivors are recorded as
+    safety margin.
 
     Raises :class:`~repro.errors.ReproError` when the channel is too
     lossy to finish within the emission budget.
@@ -276,36 +329,9 @@ def send_file(input_path: Union[str, pathlib.Path],
                                      schedule=schedule, seed=seed)
     if loss_seed is None:
         loss_seed = seed + 1
-    channel = LossyChannel(BernoulliLoss(loss), rng=loss_seed)
-    shadow = TransferClient(session.codec, payload_size=None)
-    limit = _EMISSION_LIMIT_FACTOR * session.total_k
     out_dir = pathlib.Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    # Drop any stale manifest first: stream.pkt is rewritten below, and a
-    # failed send must not leave the new stream paired with an old
-    # manifest's geometry.  The fresh manifest lands only on success.
-    (out_dir / MANIFEST_NAME).unlink(missing_ok=True)
-    survivors = 0
-    extra_left = extra
-    with open(out_dir / STREAM_NAME, "wb") as stream:
-        for packet in channel.transmit(session.packets(limit)):
-            stream.write(packet.to_bytes())
-            survivors += 1
-            if shadow.receive_index(packet.block, packet.index):
-                if extra_left <= 0:
-                    break
-                extra_left -= 1
-    if not shadow.is_complete:
-        raise ReproError(
-            f"channel too lossy: {limit} emissions were not enough "
-            f"(blocks incomplete: {shadow.incomplete_blocks[:8]})")
-    from repro import __version__
-    manifest = session.manifest(
-        version=__version__,
-        loss=loss,
-        packets_written=survivors,
-    )
-    (out_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    transport = FileTransport(out_dir, loss=loss, seed=loss_seed)
+    report = session.serve(transport, extra=extra)
     return SendReport(
         out_dir=out_dir,
         file_name=input_path.name,
@@ -315,8 +341,8 @@ def send_file(input_path: Union[str, pathlib.Path],
         num_blocks=session.num_blocks,
         total_k=session.total_k,
         loss=loss,
-        sent=channel.sent,
-        survivors=survivors,
+        sent=report.emitted,
+        survivors=report.delivered,
     )
 
 
@@ -331,14 +357,10 @@ def receive_stream(in_dir: Union[str, pathlib.Path],
     and :class:`~repro.errors.DecodeFailure` when the recorded survivors
     are insufficient (re-send with more ``extra``).
     """
-    in_dir = pathlib.Path(in_dir)
-    manifest_path = in_dir / MANIFEST_NAME
-    if not manifest_path.exists():
-        raise ProtocolError(f"no {MANIFEST_NAME} in {in_dir}")
-    manifest = json.loads(manifest_path.read_text())
+    subscription = FileTransport(in_dir).subscribe()
+    manifest = subscription.manifest()
     session = ReceiverSession(manifest)
-    raw = (in_dir / STREAM_NAME).read_bytes()
-    session.receive_stream_bytes(raw)
+    subscription.feed(session)
     if not session.is_complete:
         raise DecodeFailure(
             f"{session.packets_used} packets were not enough — blocks "
@@ -352,6 +374,6 @@ def receive_stream(in_dir: Union[str, pathlib.Path],
         file_name=manifest.get("file_name", ""),
         code_spec=session.code_spec,
         packets_used=session.packets_used,
-        packets_available=len(raw) // session.record_size,
+        packets_available=subscription.available,
         stats=session.stats(),
     )

@@ -19,11 +19,20 @@ The downstream-adoption surface of the library::
     python -m repro send big.iso out/ --code lt:c=0.05,delta=0.5
     python -m repro recv out/ recovered.iso
 
-    python -m repro codes list       # every registered code spec
+    # real delivery: spray UDP datagrams at receivers (unicast or a
+    # multicast group), paced by a token bucket -- and fetch from the
+    # other end (works across processes/hosts)
+    python -m repro serve big.iso 127.0.0.1:9000 --pace 5000 --code lt
+    python -m repro fetch 127.0.0.1:9000 recovered.iso --timeout 30
+
+    python -m repro codes list        # every registered code spec
+    python -m repro codes list --json # the same, machine-readable
 
 Every subcommand builds its erasure code through the central registry
 (:mod:`repro.codes.registry`); ``send``/``recv`` are thin shells over
-:func:`repro.api.send_file` / :func:`repro.api.receive_stream`.
+:func:`repro.api.send_file` / :func:`repro.api.receive_stream`, and
+``serve``/``fetch`` drive the :mod:`repro.net.transport` layer
+(``--transport udp`` or ``file``).
 
 ``encode`` writes one file per encoding packet (12-byte header + payload,
 the paper's wire format) plus a tiny manifest; ``decode`` reads whatever
@@ -162,20 +171,40 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _family_rows() -> List[dict]:
+    """One JSON-able row per registered family — the single source both
+    the human table and ``codes list --json`` format from."""
+    return [
+        {
+            "name": family.name,
+            "summary": family.summary,
+            "parameters": family.parameters(),
+            "modes": list(family.modes),
+            "rateless": family.rateless,
+        }
+        for family in REGISTRY
+    ]
+
+
 def cmd_codes_list(args: argparse.Namespace) -> int:
     """Print every registered code family, its parameters, and modes."""
-    print(f"{len(REGISTRY.names())} registered code families "
+    rows = _family_rows()
+    if getattr(args, "json", False):
+        print(json.dumps({"spec_syntax": "family or family:key=value,...",
+                          "families": rows}, indent=2, sort_keys=True))
+        return 0
+    print(f"{len(rows)} registered code families "
           "(spec syntax: family or family:key=value,key=value)\n")
-    for family in REGISTRY:
-        params = family.parameters()
+    for row in rows:
+        params = row["parameters"]
         param_text = (", ".join(f"{name}={value!r}"
                                 for name, value in sorted(params.items()))
                       if params else "(none)")
-        print(f"{family.name}")
-        print(f"  {family.summary}")
+        print(f"{row['name']}")
+        print(f"  {row['summary']}")
         print(f"  parameters: {param_text}")
-        print(f"  delivery modes: {', '.join(family.modes)}")
-        print(f"  rateless: {'yes (no n)' if family.rateless else 'no'}")
+        print(f"  delivery modes: {', '.join(row['modes'])}")
+        print(f"  rateless: {'yes (no n)' if row['rateless'] else 'no'}")
         print()
     return 0
 
@@ -279,6 +308,119 @@ def cmd_recv(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_transport(args: argparse.Namespace):
+    """The sender-side transport the serve flags describe."""
+    from repro.net import transport as tx
+
+    if args.transport == "udp":
+        return tx.UdpTransport(
+            args.destination,
+            pace=args.pace,
+            loss=args.loss,
+            seed=args.loss_seed,
+            manifest_interval=args.manifest_interval,
+        )
+    if args.transport == "file":
+        if len(args.destination) != 1:
+            raise ReproError(
+                "file transport takes exactly one destination directory")
+        return tx.FileTransport(args.destination[0], loss=args.loss,
+                                seed=args.loss_seed)
+    raise ReproError(
+        f"transport {args.transport!r} is not servable from the CLI; "
+        "use udp or file (memory is an in-process API transport)")
+
+
+def _check_serve_flags(args: argparse.Namespace) -> None:
+    """Reject flags the chosen transport would silently ignore."""
+    if args.transport == "udp" and args.extra:
+        raise ReproError("--extra only applies to --transport file")
+    if args.transport == "file":
+        for flag, value in (("--pace", args.pace),
+                            ("--duration", args.duration)):
+            if value is not None:
+                raise ReproError(f"{flag} only applies to --transport udp")
+        if args.manifest_interval != 64:
+            raise ReproError(
+                "--manifest-interval only applies to --transport udp")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+
+    _check_serve_flags(args)
+    session = api.SenderSession.for_file(
+        args.input, code=args.code,
+        packet_size=args.packet_size,
+        block_size=args.block_size,
+        schedule=args.schedule, seed=args.seed)
+    transport = _serve_transport(args)
+    options = {}
+    if args.transport == "udp":
+        if args.count is None and args.duration is None:
+            print(f"serving {args.input} forever "
+                  f"({session.code_spec} x {session.num_blocks} blocks) — "
+                  "interrupt to stop", file=sys.stderr)
+        options = {"count": args.count, "duration": args.duration}
+    else:
+        options = {"count": args.count, "extra": args.extra}
+    try:
+        report = session.serve(transport, **options)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        print("interrupted", file=sys.stderr)
+        return 130
+    dests = ", ".join(f"{h}:{p}" for h, p in transport.destinations) \
+        if args.transport == "udp" else args.destination[0]
+    print(f"served {report.emitted} packets ({report.delivered} delivered, "
+          f"{report.dropped} loss-injected) to {dests} "
+          f"in {report.duration:.2f}s "
+          f"({report.packets_per_second:,.0f} pkt/s)")
+    print(f"{session.code_spec} x {session.num_blocks} blocks, "
+          f"schedule={session.schedule}, k={session.total_k}")
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.errors import DecodeFailure, ProtocolError
+    from repro.net import transport as tx
+
+    if args.transport == "udp":
+        subscription = tx.UdpSubscription(args.source,
+                                          timeout=args.timeout)
+    elif args.transport == "file":
+        subscription = tx.FileTransport(args.source).subscribe()
+    else:
+        raise ReproError(
+            f"transport {args.transport!r} is not fetchable from the CLI; "
+            "use udp or file")
+    try:
+        with subscription:
+            session = api.ReceiverSession.from_subscription(
+                subscription, timeout=args.timeout)
+            subscription.feed(session, timeout=args.timeout)
+    except ProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not session.is_complete:
+        print(f"error: stream ended after {session.packets_used} packets "
+              f"with blocks {session.client.incomplete_blocks[:8]} "
+              "incomplete", file=sys.stderr)
+        return 1
+    try:
+        data = session.data()
+    except DecodeFailure as exc:  # pragma: no cover - defensive
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    pathlib.Path(args.output).write_bytes(data)
+    name = session.manifest.get("file_name", args.output)
+    print(f"reconstructed {name} ({len(data)} bytes) from "
+          f"{session.packets_used} packets over {args.transport}")
+    print(f"{session.code_spec}: all blocks complete; reception overhead "
+          f"{session.stats().reception_overhead:+.1%}")
+    return 0
+
+
 def cmd_lt_info(args: argparse.Namespace) -> int:
     code = build_code(_lt_spec(args), args.k, seed=args.seed)
     spike = robust_soliton_spike(args.k, c=args.c, delta=args.delta)
@@ -321,6 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
     codes_sub = codes.add_subparsers(dest="codes_command", required=True)
     codes_list = codes_sub.add_parser(
         "list", help="print registered code specs, parameters, and modes")
+    codes_list.add_argument("--json", action="store_true",
+                            help="machine-readable output (same rows as "
+                                 "the human table)")
     codes_list.set_defaults(func=cmd_codes_list)
 
     send = sub.add_parser(
@@ -353,6 +498,58 @@ def build_parser() -> argparse.ArgumentParser:
     recv.add_argument("input", help="directory holding stream.pkt + manifest")
     recv.add_argument("output", help="path for the reconstructed file")
     recv.set_defaults(func=cmd_recv)
+
+    serve = sub.add_parser(
+        "serve",
+        help="spray a file's packet stream over a transport "
+             "(real UDP datagrams, or a recorded stream directory)")
+    serve.add_argument("input", help="file to serve")
+    serve.add_argument("destination", nargs="+",
+                       help="host:port destinations (unicast or multicast "
+                            "group) for udp; one directory for file")
+    serve.add_argument("--transport", default="udp",
+                       choices=("udp", "file"),
+                       help="delivery transport (default: udp)")
+    serve.add_argument("--code", default="tornado-b",
+                       help="per-block code spec (see `repro codes list`)")
+    serve.add_argument("--pace", type=float, default=None,
+                       help="token-bucket rate in packets per second "
+                            "(default: unpaced)")
+    serve.add_argument("--loss", type=float, default=0.0,
+                       help="injected Bernoulli loss rate (testing)")
+    serve.add_argument("--loss-seed", type=int, default=None,
+                       help="injected-loss RNG seed")
+    serve.add_argument("--count", type=int, default=None,
+                       help="stop after this many packets")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="udp: stop after this many seconds")
+    serve.add_argument("--extra", type=int, default=0,
+                       help="file: extra survivors beyond the decodable "
+                            "minimum")
+    serve.add_argument("--manifest-interval", type=int, default=64,
+                       help="udp: data packets between in-band manifest "
+                            "frames")
+    serve.add_argument("--packet-size", type=int, default=1024)
+    serve.add_argument("--block-size", type=int, default=256 * 1024)
+    serve.add_argument("--schedule", default="interleave",
+                       choices=("interleave", "sequential"))
+    serve.add_argument("--seed", type=int, default=2024)
+    serve.set_defaults(func=cmd_serve)
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="reconstruct a file from a transport subscription "
+             "(listen on a UDP address, or read a stream directory)")
+    fetch.add_argument("source",
+                       help="host:port to listen on (multicast group "
+                            "joins it) for udp; a directory for file")
+    fetch.add_argument("output", help="path for the reconstructed file")
+    fetch.add_argument("--transport", default="udp",
+                       choices=("udp", "file"),
+                       help="delivery transport (default: udp)")
+    fetch.add_argument("--timeout", type=float, default=10.0,
+                       help="udp: seconds of silence before giving up")
+    fetch.set_defaults(func=cmd_fetch)
 
     lt = sub.add_parser(
         "lt", help="rateless (LT) encode/decode/simulate — a true fountain")

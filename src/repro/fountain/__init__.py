@@ -29,6 +29,13 @@ from repro.fountain.packets import (
     BLOCK_HEADER_SIZE,
     SERIAL_MODULUS,
 )
+from repro.fountain.source import (
+    PacketSource,
+    SequencedPacketSource,
+    available_sources,
+    build_packet_source,
+    register_source,
+)
 from repro.fountain.carousel import CarouselServer
 from repro.fountain.rateless import RatelessServer
 from repro.fountain.client import FountainClient, ClientMode
@@ -46,6 +53,11 @@ __all__ = [
     "HEADER_SIZE",
     "BLOCK_HEADER_SIZE",
     "SERIAL_MODULUS",
+    "PacketSource",
+    "SequencedPacketSource",
+    "available_sources",
+    "build_packet_source",
+    "register_source",
     "CarouselServer",
     "RatelessServer",
     "FountainClient",

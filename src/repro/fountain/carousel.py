@@ -21,13 +21,14 @@ import numpy as np
 from repro.codes.base import ErasureCode
 from repro.errors import ParameterError
 from repro.fountain.packets import EncodingPacket, HeaderSequencer
+from repro.fountain.source import SequencedPacketSource
 from repro.utils.rng import RngLike, spawn_rng
 
 #: rng stream label for the transmission permutation.
 _PERMUTATION_STREAM = 0x5EED
 
 
-class CarouselServer:
+class CarouselServer(SequencedPacketSource):
     """Cycles through an encoding in a fixed (random or given) order.
 
     Parameters
@@ -64,6 +65,7 @@ class CarouselServer:
                  group: int = 0,
                  sequencer: Optional[HeaderSequencer] = None,
                  block: Optional[int] = None):
+        super().__init__(group=group, sequencer=sequencer, block=block)
         self.code = code
         self.encoding = encoding
         if encoding is not None and encoding.shape[0] != code.n:
@@ -77,11 +79,6 @@ class CarouselServer:
         else:
             rng = spawn_rng(seed, _PERMUTATION_STREAM)
             self.order = rng.permutation(code.n).astype(np.int64)
-        self.block = block
-        self._owns_sequencer = sequencer is None
-        self._sequencer = (HeaderSequencer(group=group)
-                           if sequencer is None else sequencer)
-        self.group = self._sequencer.group
         self._pos = 0
 
     @property
@@ -105,20 +102,13 @@ class CarouselServer:
             raise ParameterError(
                 "index-only carousel cannot emit payload packets; "
                 "construct with an encoding block")
-        emitted = 0
-        while count is None or emitted < count:
-            index = int(self.order[self._pos % self.cycle_length])
-            header = self._sequencer.next_header(index, block=self.block)
-            self._pos += 1
-            yield EncodingPacket(header=header, payload=self.encoding[index])
-            emitted += 1
+        return super().packets(count)
 
-    def reset(self) -> None:
-        """Rewind to the start of the cycle (a fresh session).
+    def _next_packet(self) -> EncodingPacket:
+        index = int(self.order[self._pos % self.cycle_length])
+        header = self._sequencer.next_header(index, block=self.block)
+        self._pos += 1
+        return EncodingPacket(header=header, payload=self.encoding[index])
 
-        A *shared* sequencer is left untouched — its owner (the transfer
-        server) resets the whole striped stream.
-        """
+    def _rewind(self) -> None:
         self._pos = 0
-        if self._owns_sequencer:
-            self._sequencer.reset()

@@ -48,9 +48,10 @@ from repro.fountain.packets import (
     EncodingPacket,
     HeaderSequencer,
 )
+from repro.fountain.source import SequencedPacketSource
 
 
-class RatelessServer:
+class RatelessServer(SequencedPacketSource):
     """Pours an endless droplet stream for one source block.
 
     Parameters
@@ -92,6 +93,7 @@ class RatelessServer:
                  wrap: bool = False,
                  sequencer: Optional[HeaderSequencer] = None,
                  block: Optional[int] = None):
+        super().__init__(group=group, sequencer=sequencer, block=block)
         if not 0 <= start < SERIAL_MODULUS:
             raise ParameterError(
                 f"start droplet id {start} outside uint32 range")
@@ -108,11 +110,6 @@ class RatelessServer:
         self.start = int(start)
         self.id_range = int(id_range)
         self.wrap = bool(wrap)
-        self.block = block
-        self._owns_sequencer = sequencer is None
-        self._sequencer = (HeaderSequencer(group=group)
-                           if sequencer is None else sequencer)
-        self.group = self._sequencer.group
         self._emitted = 0
 
     @property
@@ -160,22 +157,15 @@ class RatelessServer:
             raise ParameterError(
                 "index-only rateless server cannot emit payload packets; "
                 "construct with a source block")
-        emitted = 0
-        while count is None or emitted < count:
-            droplet_id = self.next_droplet_id
-            header = self._sequencer.next_header(droplet_id, block=self.block)
-            self._emitted += 1
-            yield EncodingPacket(
-                header=header,
-                payload=self.encoder.droplet_payload(droplet_id))
-            emitted += 1
+        return super().packets(count)
 
-    def reset(self) -> None:
-        """Rewind the stream to its starting droplet (a fresh session).
+    def _next_packet(self) -> EncodingPacket:
+        droplet_id = self.next_droplet_id
+        header = self._sequencer.next_header(droplet_id, block=self.block)
+        self._emitted += 1
+        return EncodingPacket(
+            header=header,
+            payload=self.encoder.droplet_payload(droplet_id))
 
-        A *shared* sequencer is left untouched — its owner (the transfer
-        server) resets the whole striped stream.
-        """
+    def _rewind(self) -> None:
         self._emitted = 0
-        if self._owns_sequencer:
-            self._sequencer.reset()

@@ -19,7 +19,21 @@ from repro.net.channel import LossyChannel
 from repro.net.multicast import MulticastGroup, MulticastNetwork
 from repro.net.events import EventLoop
 
+#: `repro.net.transport` resolved lazily (PEP 562): the transport layer
+#: pulls in the transfer stack (for serve-side shadow decoders), which
+#: plain loss-model users should not pay for.
+
+
+def __getattr__(name):
+    if name == "transport":
+        import importlib
+
+        return importlib.import_module("repro.net.transport")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "transport",
     "LossModel",
     "BernoulliLoss",
     "GilbertElliottLoss",

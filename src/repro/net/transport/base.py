@@ -1,0 +1,224 @@
+"""The transport contract: one way to move a packet stream anywhere.
+
+A *transport* carries the records of a
+:class:`~repro.fountain.source.PacketSource` from a sender session to
+any number of receiver subscriptions.  Three interchangeable
+implementations ship behind this contract:
+
+* :class:`~repro.net.transport.memory.MemoryTransport` — in-process
+  queues with per-subscriber loss channels (tests, simulations).
+* :class:`~repro.net.transport.file.FileTransport` — a ``stream.pkt``
+  plus ``manifest.json`` directory (the `repro send`/`repro recv`
+  shape).
+* :class:`~repro.net.transport.udp.UdpTransport` — real asyncio UDP
+  datagrams over unicast or loopback multicast, with token-bucket
+  pacing and optional Bernoulli loss injection.
+
+Senders call ``transport.serve(session)`` with any object exposing the
+sender-session surface (``packets()``, ``manifest()``, ``codec``,
+``total_k`` — see :class:`repro.api.SenderSession`); receivers consume
+a :class:`Subscription`, which feeds raw wire records (header +
+payload) into a :class:`repro.api.ReceiverSession`.
+
+Framing
+-------
+
+File and memory transports move bare fixed-size records.  Datagram
+transports wrap every record in a tiny length-prefixed frame so a
+datagram is self-delimiting and can carry control frames in-band::
+
+    +------+----------+------------------+
+    | type | length   | body             |
+    | u8   | u16 (BE) | `length` bytes   |
+    +------+----------+------------------+
+
+``FRAME_DATA`` bodies are wire records (the existing 12/16-byte header
+plus payload, exactly as written to ``stream.pkt``); ``FRAME_MANIFEST``
+bodies are the UTF-8 JSON manifest, re-sent periodically so a receiver
+can join mid-stream and still learn the object geometry.
+"""
+
+from __future__ import annotations
+
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "EMISSION_LIMIT_FACTOR",
+    "FRAME_DATA",
+    "FRAME_MANIFEST",
+    "ServeReport",
+    "Subscription",
+    "Transport",
+    "TRANSPORTS",
+    "iter_frames",
+    "pack_frame",
+    "register_transport",
+    "transport_names",
+]
+
+#: emission budget per source packet before a serve is declared stuck.
+EMISSION_LIMIT_FACTOR = 200
+
+#: frame type carrying one wire packet record.
+FRAME_DATA = 0x01
+#: frame type carrying the UTF-8 JSON manifest.
+FRAME_MANIFEST = 0x02
+
+_FRAME_HEAD = struct.Struct(">BH")
+
+
+def pack_frame(frame_type: int, body: bytes) -> bytes:
+    """One length-prefixed frame: type byte, u16 body length, body."""
+    if len(body) > 0xFFFF:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the u16 length "
+            "prefix; shrink the packet size")
+    return _FRAME_HEAD.pack(frame_type, len(body)) + body
+
+
+def iter_frames(datagram: bytes) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(type, body)`` for every frame packed into a datagram.
+
+    Raises :class:`~repro.errors.ProtocolError` on truncated framing —
+    a datagram either parses completely or is rejected whole (UDP
+    delivers datagrams intact or not at all, so partial frames mean a
+    non-repro sender).
+    """
+    offset = 0
+    total = len(datagram)
+    while offset < total:
+        if total - offset < _FRAME_HEAD.size:
+            raise ProtocolError(
+                f"truncated frame header at byte {offset} of a "
+                f"{total}-byte datagram")
+        frame_type, length = _FRAME_HEAD.unpack_from(datagram, offset)
+        offset += _FRAME_HEAD.size
+        if total - offset < length:
+            raise ProtocolError(
+                f"frame claims {length} body bytes but only "
+                f"{total - offset} remain in the datagram")
+        yield frame_type, datagram[offset:offset + length]
+        offset += length
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Outcome of one :meth:`Transport.serve` call."""
+
+    transport: str
+    #: packets pulled from the session's source.
+    emitted: int
+    #: records actually placed on the medium (after injected loss),
+    #: summed over all destinations/subscribers.
+    delivered: int
+    #: records suppressed by injected loss.
+    dropped: int
+    #: wall-clock seconds the serve ran.
+    duration: float
+    #: destinations (UDP) or subscribers (memory) served; 1 for file.
+    destinations: int = 1
+    #: manifest frames interleaved into the stream (datagram transports).
+    manifest_frames: int = 0
+    #: socket errors observed while sending (ICMP unreachable etc.) —
+    #: survivable for a fountain, but visible to operators.
+    socket_errors: int = 0
+
+    @property
+    def packets_per_second(self) -> float:
+        """Delivered records per second of serving."""
+        if self.duration <= 0:
+            return 0.0
+        return self.delivered / self.duration
+
+
+class Subscription(ABC):
+    """The receiver side of a transport: a manifest plus a record feed."""
+
+    @abstractmethod
+    def manifest(self, timeout: Optional[float] = None) -> dict:
+        """The transfer manifest (waits for it on live transports)."""
+
+    @abstractmethod
+    def records(self, timeout: Optional[float] = None) -> Iterator[bytes]:
+        """Raw wire records (header + payload), in arrival order.
+
+        Finite transports (file, memory) stop at end of stream; live
+        transports (UDP) raise :class:`~repro.errors.ProtocolError`
+        after ``timeout`` seconds of silence.
+        """
+
+    def feed(self, session: Any,
+             timeout: Optional[float] = None) -> bool:
+        """Drive a receiver session from this feed until it completes.
+
+        Returns the session's completeness; stops early on completion,
+        at end of stream for finite transports, or on timeout for live
+        ones.
+        """
+        if not session.is_complete:
+            for record in self.records(timeout=timeout):
+                if session.receive_record(record):
+                    break
+        return bool(session.is_complete)
+
+    def receive(self, manifest: Optional[dict] = None,
+                timeout: Optional[float] = None) -> Any:
+        """Build a :class:`repro.api.ReceiverSession` and feed it."""
+        from repro.api import ReceiverSession
+
+        session = ReceiverSession(self.manifest(timeout=timeout)
+                                  if manifest is None else manifest)
+        self.feed(session, timeout=timeout)
+        return session
+
+    def close(self) -> None:
+        """Release any OS resources (sockets); idempotent."""
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class Transport(ABC):
+    """One way to move a packet stream from a sender to receivers."""
+
+    #: registry name (``"memory"``, ``"file"``, ``"udp"``).
+    name: str = "?"
+
+    @abstractmethod
+    def serve(self, session: Any, *, count: Optional[int] = None,
+              **options: Any) -> ServeReport:
+        """Pump the session's packet stream into the medium.
+
+        ``count`` bounds the emissions; transports with a completion
+        signal (memory, file — both can shadow the receivers
+        structurally) stop on their own when ``count`` is ``None``.
+        """
+
+    @abstractmethod
+    def subscribe(self, **options: Any) -> Subscription:
+        """A receiver-side subscription to this transport's stream."""
+
+
+#: transport name -> class, for spec-driven construction (CLI, tests).
+TRANSPORTS: Dict[str, Type[Transport]] = {}
+
+
+def register_transport(cls: Type[Transport]) -> Type[Transport]:
+    """Class decorator adding a transport to :data:`TRANSPORTS`."""
+    if cls.name in TRANSPORTS:
+        raise ProtocolError(f"transport {cls.name!r} already registered")
+    TRANSPORTS[cls.name] = cls
+    return cls
+
+
+def transport_names() -> List[str]:
+    """All registered transport names, sorted."""
+    return sorted(TRANSPORTS)

@@ -1,0 +1,146 @@
+"""In-process transport: per-subscriber loss channels over queues.
+
+The behavior every test and simulation used before transports existed —
+a sender loop pushing packets through a
+:class:`~repro.net.channel.LossyChannel` — promoted to the transport
+contract.  Each subscriber owns an independent loss channel (one
+receiver per channel, as in all of the paper's experiments), and the
+serve loop shadows every subscriber with a structural (payload-less)
+decoder so it knows when everyone has enough and can stop on its own —
+the in-process stand-in for "the receiver walks away from the
+fountain".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional
+
+from repro.errors import ProtocolError, ReproError
+from repro.net.channel import LossyChannel
+from repro.net.loss import BernoulliLoss
+from repro.net.transport.base import (
+    EMISSION_LIMIT_FACTOR,
+    ServeReport,
+    Subscription,
+    Transport,
+    register_transport,
+)
+from repro.utils.rng import ensure_rng, spawn_rng
+
+__all__ = ["MemoryTransport", "MemorySubscription"]
+
+
+class MemorySubscription(Subscription):
+    """One subscriber's buffered view of a memory-served stream."""
+
+    def __init__(self, channel: LossyChannel):
+        self.channel = channel
+        self._records: List[bytes] = []
+        self._manifest: Optional[dict] = None
+
+    @property
+    def available(self) -> int:
+        """Records buffered for this subscriber so far."""
+        return len(self._records)
+
+    def manifest(self, timeout: Optional[float] = None) -> dict:
+        if self._manifest is None:
+            raise ProtocolError(
+                "no manifest yet: serve the session before consuming "
+                "a memory subscription")
+        return self._manifest
+
+    def records(self, timeout: Optional[float] = None) -> Iterator[bytes]:
+        yield from self._records
+
+
+@register_transport
+class MemoryTransport(Transport):
+    """Deliver a stream to in-process subscribers across lossy channels.
+
+    Parameters
+    ----------
+    loss:
+        Bernoulli loss probability applied independently per subscriber.
+    seed:
+        Base RNG seed; subscriber ``i`` draws from ``spawn_rng(seed, i)``
+        so a fixed seed makes every subscriber's loss process — and the
+        whole delivery — deterministic.
+    """
+
+    name = "memory"
+
+    def __init__(self, loss: float = 0.0, seed: Optional[int] = None):
+        self.loss = float(loss)
+        self.seed = seed
+        self.subscriptions: List[MemorySubscription] = []
+
+    def subscribe(self, **options: Any) -> MemorySubscription:
+        if options:
+            raise ProtocolError(
+                f"memory subscriptions take no options, got {options}")
+        rng = (ensure_rng(None) if self.seed is None
+               else spawn_rng(self.seed, len(self.subscriptions)))
+        sub = MemorySubscription(LossyChannel(BernoulliLoss(self.loss),
+                                              rng=rng))
+        self.subscriptions.append(sub)
+        return sub
+
+    def serve(self, session: Any, *, count: Optional[int] = None,
+              extra: int = 0, **options: Any) -> ServeReport:
+        """Pump packets to every subscriber until all could decode.
+
+        With ``count=None`` the serve stops once a structural shadow of
+        every subscriber is complete (plus ``extra`` more emissions);
+        an explicit ``count`` emits exactly that many packets.
+        """
+        if options:
+            raise ProtocolError(
+                f"memory serve takes count/extra only, got {options}")
+        if not self.subscriptions:
+            raise ProtocolError(
+                "no subscribers: call subscribe() before serve()")
+        from repro.transfer.client import TransferClient
+
+        manifest = session.manifest()
+        shadows = []
+        for sub in self.subscriptions:
+            sub._manifest = manifest
+            shadows.append(TransferClient(session.codec, payload_size=None))
+        limit = (EMISSION_LIMIT_FACTOR * session.total_k
+                 if count is None else count)
+        start = time.perf_counter()
+        emitted = delivered = dropped = 0
+        extra_left = extra
+        for packet in session.packets(limit):
+            emitted += 1
+            record = None
+            for sub, shadow in zip(self.subscriptions, shadows):
+                if bool(sub.channel.delivery_mask(1)[0]):
+                    if record is None:
+                        record = packet.to_bytes()
+                    sub._records.append(record)
+                    delivered += 1
+                    if not shadow.is_complete:
+                        shadow.receive_index(packet.block, packet.index)
+                else:
+                    dropped += 1
+            if count is None and all(s.is_complete for s in shadows):
+                if extra_left <= 0:
+                    break
+                extra_left -= 1
+        if count is None and not all(s.is_complete for s in shadows):
+            incomplete = [i for i, s in enumerate(shadows)
+                          if not s.is_complete]
+            raise ReproError(
+                f"channel too lossy: {limit} emissions were not enough "
+                f"for subscribers {incomplete[:8]}")
+        return ServeReport(
+            transport=self.name,
+            emitted=emitted,
+            delivered=delivered,
+            dropped=dropped,
+            duration=time.perf_counter() - start,
+            destinations=len(self.subscriptions),
+        )

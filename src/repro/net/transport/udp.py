@@ -1,0 +1,411 @@
+"""Real asyncio UDP delivery: unicast and loopback multicast.
+
+The paper's server "sprays" an unreliable datagram stream at
+arbitrarily many heterogeneous receivers; this module does it with real
+sockets.  The sender is an asyncio datagram endpoint pumping
+length-prefixed frames (see :mod:`repro.net.transport.base`) to any
+number of unicast destinations and/or multicast groups, with
+
+* **token-bucket pacing** (``pace`` packets per second) so loopback
+  buffers — and real links — are not flooded,
+* **in-band manifests**: the JSON manifest is re-sent every
+  ``manifest_interval`` data packets, so a receiver can join
+  mid-stream, learn the object geometry, and start decoding, and
+* **optional Bernoulli loss injection** (per packet, per destination,
+  deterministic under a fixed seed) so tests exercise real lossy-path
+  recovery without a lossy network.
+
+The receiver side is a plain blocking socket behind the
+:class:`~repro.net.transport.base.Subscription` contract — callable
+from any thread, no event loop required — because a fountain receiver
+has no feedback to schedule: it just drinks datagrams until its decoder
+completes.  UDP drops packets the kernel's buffers cannot hold; that is
+simply more erasure, which is the entire point of the codes upstream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import ipaddress
+import json
+import socket
+import time
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ParameterError, ProtocolError
+from repro.net.loss import BernoulliLoss
+from repro.net.transport.base import (
+    FRAME_DATA,
+    FRAME_MANIFEST,
+    ServeReport,
+    Subscription,
+    Transport,
+    iter_frames,
+    pack_frame,
+    register_transport,
+)
+from repro.net.transport.file import record_size
+from repro.net.transport.pacing import TokenBucket
+from repro.utils.rng import ensure_rng
+
+__all__ = ["UdpTransport", "UdpSubscription", "parse_address",
+           "is_multicast"]
+
+Address = Tuple[str, int]
+
+#: default receive-socket buffer: room for a few thousand packets.
+DEFAULT_RCVBUF = 1 << 22
+
+#: sender yields to the event loop at least this often when unpaced.
+_YIELD_EVERY = 64
+
+
+def parse_address(text: Union[str, Address]) -> Address:
+    """``"host:port"`` (or an ``(host, port)`` pair) to a socket address."""
+    if isinstance(text, tuple):
+        host, port = text
+        return str(host), int(port)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ParameterError(
+            f"address {text!r} is not host:port (e.g. 127.0.0.1:9000)")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ParameterError(f"bad port in address {text!r}") from None
+
+
+def is_multicast(host: str) -> bool:
+    """True when ``host`` is an IPv4 multicast group address."""
+    try:
+        return ipaddress.ip_address(host).is_multicast
+    except ValueError:
+        return False
+
+
+def _stop_check(stop: Any) -> Callable[[], bool]:
+    """Normalise a stop flag: callable, threading.Event, or None."""
+    if stop is None:
+        return lambda: False
+    if callable(stop):
+        return stop
+    if hasattr(stop, "is_set"):
+        return stop.is_set
+    raise ParameterError(
+        "stop must be a callable or an Event-like object with is_set()")
+
+
+class UdpSubscription(Subscription):
+    """A bound UDP socket yielding the data records it receives.
+
+    Parameters
+    ----------
+    address:
+        ``host:port`` to listen on.  A multicast group address joins
+        the group (bound on the wildcard address); port 0 picks a free
+        port — read :attr:`address` for the actual binding.
+    interface:
+        Interface IP for multicast membership (loopback by default).
+    timeout:
+        Default seconds of silence before :meth:`records` gives up.
+    buffer_size:
+        Requested ``SO_RCVBUF`` — sized for a paced fountain burst.
+    """
+
+    def __init__(self, address: Union[str, Address],
+                 interface: str = "127.0.0.1",
+                 timeout: float = 5.0,
+                 buffer_size: int = DEFAULT_RCVBUF):
+        host, port = parse_address(address)
+        self.timeout = float(timeout)
+        self._manifest: Optional[dict] = None
+        self._pending: List[bytes] = []
+        self._closed = False
+        #: data frames whose framing failed to parse (foreign senders).
+        self.malformed = 0
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM,
+                             socket.IPPROTO_UDP)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                            int(buffer_size))
+            if is_multicast(host):
+                # Several group members may share one port on this
+                # host; unicast binds stay exclusive so a double fetch
+                # fails loudly instead of starving silently.
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                sock.bind(("", port))
+                sock.setsockopt(
+                    socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP,
+                    socket.inet_aton(host) + socket.inet_aton(interface))
+            else:
+                sock.bind((host, port))
+        except OSError:
+            sock.close()
+            raise
+        self.socket = sock
+        self._host = host
+
+    @property
+    def address(self) -> Address:
+        """The address a sender should target to reach this subscription."""
+        return self._host, self.socket.getsockname()[1]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.socket.close()
+
+    def _frames(self, timeout: Optional[float]
+                ) -> Iterator[Tuple[int, bytes]]:
+        """Parsed frames from arriving datagrams; times out on silence."""
+        wait = self.timeout if timeout is None else float(timeout)
+        self.socket.settimeout(wait)
+        while True:
+            try:
+                datagram, _addr = self.socket.recvfrom(65535)
+            except socket.timeout:
+                raise ProtocolError(
+                    f"no datagrams on {self.address[0]}:"
+                    f"{self.address[1]} within {wait:.1f}s — is the "
+                    "sender running (and pointed here)?") from None
+            except OSError:
+                if self._closed:
+                    return
+                raise
+            try:
+                # Materialise first: a datagram either parses whole or
+                # is discarded whole — no half-delivered prefixes.
+                frames = list(iter_frames(datagram))
+            except ProtocolError:
+                self.malformed += 1
+                continue
+            yield from frames
+
+    def _learn_manifest(self, body: bytes) -> bool:
+        """Adopt a manifest frame's body; False (and counted) if bogus."""
+        try:
+            self._manifest = json.loads(body.decode("utf-8"))
+            return True
+        except (UnicodeDecodeError, ValueError):
+            self.malformed += 1
+            return False
+
+    def _record_bytes(self) -> Optional[int]:
+        """Expected data-record size, once a manifest has been learned."""
+        if self._manifest is None:
+            return None
+        try:
+            return record_size(self._manifest)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def manifest(self, timeout: Optional[float] = None) -> dict:
+        """Wait for a manifest frame (buffering data frames meanwhile)."""
+        if self._manifest is None:
+            for frame_type, body in self._frames(timeout):
+                if (frame_type == FRAME_MANIFEST
+                        and self._learn_manifest(body)):
+                    break
+                if frame_type == FRAME_DATA:
+                    self._pending.append(body)
+        if self._manifest is None:
+            # _frames() only ends without a manifest when the socket was
+            # closed from another thread mid-wait.
+            raise ProtocolError(
+                "subscription closed before a manifest frame arrived")
+        return self._manifest
+
+    def records(self, timeout: Optional[float] = None) -> Iterator[bytes]:
+        """Data records as they arrive; replays any buffered backlog first.
+
+        Once a manifest is known, records of any other size (foreign
+        senders, a repro sender restarted with a different geometry) are
+        counted in :attr:`malformed` and skipped, not handed to the
+        decoder.
+        """
+        size = self._record_bytes()
+        while self._pending:
+            body = self._pending.pop(0)
+            if size is not None and len(body) != size:
+                self.malformed += 1
+                continue
+            yield body
+        for frame_type, body in self._frames(timeout):
+            if frame_type == FRAME_MANIFEST:
+                if self._learn_manifest(body):
+                    size = self._record_bytes()
+            elif frame_type == FRAME_DATA:
+                if size is not None and len(body) != size:
+                    self.malformed += 1
+                    continue
+                yield body
+
+
+class _SenderProtocol(asyncio.DatagramProtocol):
+    """Fire-and-forget sender; counts (but survives) socket errors."""
+
+    def __init__(self) -> None:
+        self.errors = 0
+        self.last_error: Optional[Exception] = None
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP port-unreachable chatter is normal when a unicast
+        # receiver leaves early; a fountain sender shrugs, but the
+        # count is reported so operators can see a dead destination.
+        self.errors += 1
+        self.last_error = exc
+
+
+@register_transport
+class UdpTransport(Transport):
+    """Spray a packet stream over real UDP sockets.
+
+    Parameters
+    ----------
+    destinations:
+        Addresses (``"host:port"`` strings or pairs) every data frame
+        is sent to — unicast receivers and/or multicast groups.
+    bind:
+        Optional local ``host:port`` for the sending socket.
+    pace:
+        Token-bucket rate in packets per second (``None`` = unpaced,
+        with periodic event-loop yields).
+    loss:
+        Injected Bernoulli loss probability, applied independently per
+        packet per destination *before* the socket — test-channel
+        erasure with real-socket delivery.
+    seed:
+        RNG seed for the injected loss (``None`` draws fresh entropy).
+    manifest_interval:
+        Data packets between in-band manifest frames.
+    interface:
+        Interface IP for multicast sends (loopback by default).
+    ttl:
+        Multicast TTL (1 = link-local, the loopback-safe default).
+    """
+
+    name = "udp"
+
+    def __init__(self, destinations: Sequence[Union[str, Address]],
+                 *,
+                 bind: Optional[Union[str, Address]] = None,
+                 pace: Optional[float] = None,
+                 loss: float = 0.0,
+                 seed: Optional[int] = None,
+                 manifest_interval: int = 64,
+                 interface: str = "127.0.0.1",
+                 ttl: int = 1):
+        self.destinations = [parse_address(dest) for dest in destinations]
+        if not self.destinations:
+            raise ParameterError("need at least one destination address")
+        self.bind = None if bind is None else parse_address(bind)
+        self.pace = pace
+        self.loss = float(loss)
+        self.seed = seed
+        self.manifest_interval = int(manifest_interval)
+        if self.manifest_interval < 1:
+            raise ParameterError("manifest_interval must be >= 1")
+        self.interface = interface
+        self.ttl = int(ttl)
+        self._subscribed = 0
+
+    def subscribe(self, address: Optional[Union[str, Address]] = None,
+                  **options: Any) -> UdpSubscription:
+        """Bind a receiver socket.
+
+        With no ``address`` the next unclaimed destination is bound —
+        the loopback convenience that lets tests and examples stand up
+        sender and receivers from one transport object.  Pass an
+        explicit ``address`` (e.g. from another process) otherwise.
+        """
+        if address is None:
+            if self._subscribed >= len(self.destinations):
+                raise ProtocolError(
+                    f"all {len(self.destinations)} destinations already "
+                    "have local subscriptions; pass address= explicitly")
+            address = self.destinations[self._subscribed]
+            self._subscribed += 1
+        return UdpSubscription(address, interface=self.interface, **options)
+
+    # -- sending ---------------------------------------------------------------
+
+    def serve(self, session: Any, *, count: Optional[int] = None,
+              **options: Any) -> ServeReport:
+        """Synchronous wrapper: run :meth:`serve_async` to completion."""
+        return asyncio.run(self.serve_async(session, count=count, **options))
+
+    async def serve_async(self, session: Any, *,
+                          count: Optional[int] = None,
+                          duration: Optional[float] = None,
+                          stop: Any = None) -> ServeReport:
+        """Pump the session's stream into the sockets.
+
+        Runs until ``count`` emissions, ``duration`` seconds, or the
+        ``stop`` flag (callable or Event) — whichever comes first; with
+        none given it serves forever, which is exactly what a fountain
+        server does (interrupt it to stop).
+        """
+        should_stop = _stop_check(stop)
+        loop = asyncio.get_running_loop()
+        transport, protocol = await loop.create_datagram_endpoint(
+            _SenderProtocol,
+            local_addr=self.bind or ("0.0.0.0", 0))
+        sock = transport.get_extra_info("socket")
+        if sock is not None and any(is_multicast(host)
+                                    for host, _ in self.destinations):
+            sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL,
+                            self.ttl)
+            sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+            sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_IF,
+                            socket.inet_aton(self.interface))
+        bucket = None if self.pace is None else TokenBucket(self.pace)
+        loss_model = None if self.loss <= 0 else BernoulliLoss(self.loss)
+        rng = ensure_rng(self.seed)
+        manifest_frame = pack_frame(
+            FRAME_MANIFEST,
+            json.dumps(session.manifest()).encode("utf-8"))
+        start = time.perf_counter()
+        deadline = None if duration is None else start + float(duration)
+        emitted = delivered = dropped = manifest_frames = 0
+        try:
+            for packet in session.packets(count):
+                if should_stop():
+                    break
+                if (deadline is not None
+                        and time.perf_counter() >= deadline):
+                    break
+                if bucket is not None:
+                    await bucket.throttle()
+                elif emitted % _YIELD_EVERY == 0:
+                    await asyncio.sleep(0)
+                if emitted % self.manifest_interval == 0:
+                    for dest in self.destinations:
+                        transport.sendto(manifest_frame, dest)
+                    manifest_frames += 1
+                frame = pack_frame(FRAME_DATA, packet.to_bytes())
+                for dest in self.destinations:
+                    if (loss_model is not None
+                            and bool(loss_model.losses(1, rng)[0])):
+                        dropped += 1
+                        continue
+                    transport.sendto(frame, dest)
+                    delivered += 1
+                emitted += 1
+        finally:
+            # One final manifest so late joiners of a finite serve still
+            # learn the geometry, then let the endpoint flush and close.
+            for dest in self.destinations:
+                transport.sendto(manifest_frame, dest)
+            manifest_frames += 1
+            await asyncio.sleep(0)
+            transport.close()
+        return ServeReport(
+            transport=self.name,
+            emitted=emitted,
+            delivered=delivered,
+            dropped=dropped,
+            duration=time.perf_counter() - start,
+            destinations=len(self.destinations),
+            manifest_frames=manifest_frames,
+            socket_errors=protocol.errors,
+        )

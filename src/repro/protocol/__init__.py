@@ -22,6 +22,7 @@ from repro.protocol.schedule import (
 )
 from repro.protocol.congestion import CongestionPolicy, SubscriptionController
 from repro.protocol.server import LayeredServer
+from repro.protocol.stream import LayeredPacketSource, layered_packet_source
 from repro.protocol.receiver import LayeredReceiver
 from repro.protocol.session import SessionResult, run_session, run_single_layer_session
 
@@ -34,6 +35,8 @@ __all__ = [
     "CongestionPolicy",
     "SubscriptionController",
     "LayeredServer",
+    "LayeredPacketSource",
+    "layered_packet_source",
     "LayeredReceiver",
     "SessionResult",
     "run_session",

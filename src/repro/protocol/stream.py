@@ -1,0 +1,147 @@
+"""Layered schedules as a wire-packet stream (the PacketSource face).
+
+:class:`~repro.protocol.server.LayeredServer` speaks in *rounds* of
+per-layer encoding-index arrays — the shape the Figure 8 simulations
+consume.  :class:`LayeredPacketSource` adapts that schedule to the
+:class:`~repro.fountain.source.PacketSource` contract every transport
+speaks: each schedule slot becomes a real
+:class:`~repro.fountain.packets.EncodingPacket` whose header ``group``
+field carries the layer id (exactly the paper's use of the 12-byte
+header's group field), with one
+:class:`~repro.fountain.packets.HeaderSequencer` per layer so serial
+gaps estimate per-layer loss.
+
+This is what lets the layered protocol ride the same delivery paths as
+a flat carousel: a UDP transport can spray a layered stream and a
+receiver subscribed to layers ``0..l`` simply ignores packets whose
+``group`` exceeds its level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.fountain.packets import EncodingPacket, HeaderSequencer
+from repro.protocol.congestion import CongestionPolicy
+from repro.protocol.layering import LayerConfig
+from repro.protocol.server import LayeredServer
+
+__all__ = ["LayeredPacketSource", "layered_packet_source"]
+
+
+class LayeredPacketSource:
+    """One layered schedule, emitted as a flat packet stream.
+
+    Parameters
+    ----------
+    server:
+        The layered schedule driver (defines rounds, layers, bursts).
+    source:
+        The ``(k, P)`` source block.  Fixed-rate codes are encoded once
+        up front (or pass a precomputed ``encoding``); rateless codes
+        mint droplet payloads on demand.
+    encoding:
+        Optional precomputed ``(n, P)`` encoding (fixed-rate only) —
+        the encode-once cache when several streams share one object.
+    """
+
+    def __init__(self, server: LayeredServer,
+                 source: Optional[np.ndarray] = None, *,
+                 encoding: Optional[np.ndarray] = None):
+        self.server = server
+        code = server.code
+        self._encoder: Optional[Any] = None
+        self._encoding: Optional[np.ndarray] = None
+        if server.rateless:
+            if encoding is not None:
+                raise ParameterError(
+                    "rateless codes have no finite encoding; pass the "
+                    "source block")
+            if source is None:
+                raise ParameterError(
+                    "layered rateless source needs the source block")
+            self._encoder = code.encoder(source)
+        else:
+            if encoding is None:
+                if source is None:
+                    raise ParameterError(
+                        "layered source needs the source block (or a "
+                        "precomputed encoding=)")
+                encoding = code.encode(source)
+            if encoding.shape[0] != code.n:
+                raise ParameterError(
+                    f"encoding has {encoding.shape[0]} packets, "
+                    f"code has n={code.n}")
+            self._encoding = encoding
+        self._sequencers = [HeaderSequencer(group=layer)
+                            for layer in range(server.config.num_layers)]
+        self._iter = self._stream()
+
+    @property
+    def num_layers(self) -> int:
+        return self.server.config.num_layers
+
+    def _payload(self, index: int) -> np.ndarray:
+        if self._encoder is not None:
+            return self._encoder.droplet_payload(index)
+        assert self._encoding is not None
+        return self._encoding[index]
+
+    def _stream(self) -> Iterator[EncodingPacket]:
+        while True:
+            per_layer, _burst = self.server.next_round()
+            for layer, indices in enumerate(per_layer):
+                sequencer = self._sequencers[layer]
+                for index in indices:
+                    header = sequencer.next_header(int(index))
+                    yield EncodingPacket(header=header,
+                                         payload=self._payload(int(index)))
+
+    def packets(self, count: Optional[int] = None
+                ) -> Iterator[EncodingPacket]:
+        """Yield the next ``count`` packets (infinite when ``None``).
+
+        Successive calls continue the schedule where the previous call
+        stopped, like every other :class:`PacketSource`.
+        """
+        return itertools.islice(self._iter, count)
+
+    def reset(self) -> None:
+        """Rewind the schedule and every layer's serial counter."""
+        self.server.reset()
+        for sequencer in self._sequencers:
+            sequencer.reset()
+        self._iter = self._stream()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LayeredPacketSource(layers={self.num_layers}, "
+                f"rateless={self.server.rateless})")
+
+
+def layered_packet_source(code: Any,
+                          source: Optional[np.ndarray] = None, *,
+                          encoding: Optional[np.ndarray] = None,
+                          seed: int = 0,
+                          num_layers: int = 4,
+                          config: Optional[LayerConfig] = None,
+                          policy: Optional[CongestionPolicy] = None,
+                          blocks_per_round: Optional[int] = None,
+                          cycle_length: Optional[int] = None
+                          ) -> LayeredPacketSource:
+    """Build a layered stream for ``code`` — the ``"layered"`` source mode.
+
+    Defaults give the paper's 4-layer geometry with no bursts mixed
+    into the flat stream cadence (``policy`` overrides).
+    """
+    if config is None:
+        config = LayerConfig(num_layers)
+    if policy is None:
+        policy = CongestionPolicy()
+    server = LayeredServer(code, config, policy, seed=seed,
+                           blocks_per_round=blocks_per_round,
+                           cycle_length=cycle_length)
+    return LayeredPacketSource(server, source, encoding=encoding)

@@ -1,10 +1,12 @@
 """Serving a block-segmented object as one striped packet stream.
 
-A :class:`TransferServer` composes one fountain sub-server per block —
+A :class:`TransferServer` composes one fountain sub-source per block —
+built through the source registry
+(:func:`repro.fountain.source.build_packet_source`):
 :class:`~repro.fountain.carousel.CarouselServer` for fixed-rate
 families, :class:`~repro.fountain.rateless.RatelessServer` for LT — and
 pulls packets from them in the order a pluggable cross-block schedule
-dictates.  All sub-servers stamp headers through one shared
+dictates.  All sub-sources stamp headers through one shared
 :class:`~repro.fountain.packets.HeaderSequencer`, so serials are
 strictly monotone across the whole striped stream (receivers estimate
 loss from serial gaps exactly as on a single-block stream).
@@ -13,22 +15,33 @@ Header compatibility: a multi-block stream tags every packet with its
 block id via the 16-byte :class:`~repro.fountain.packets.BlockHeader`;
 a single-block plan degrades to the legacy 12-byte header, keeping the
 wire format byte-identical to the paper's.
+
+Encode once, serve many: the per-block payload arrays (fixed-rate
+encodings, rateless source blocks) are computed in the constructor and
+cached, and :meth:`TransferServer.fork` spins up additional independent
+streams over the *same* cached arrays — one encode no matter how many
+concurrent receivers a transport fans the object out to.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List, Optional
+
+import numpy as np
 
 from repro.errors import ParameterError
-from repro.fountain.carousel import CarouselServer
-from repro.fountain.packets import EncodingPacket, HeaderSequencer
-from repro.fountain.rateless import RatelessServer
+from repro.fountain.packets import EncodingPacket
+from repro.fountain.source import (
+    PacketSource,
+    SequencedPacketSource,
+    build_packet_source,
+)
 from repro.codes.registry import block_seed
 from repro.transfer.codec import ObjectCodec
 from repro.transfer.schedule import make_schedule
 
 
-class TransferServer:
+class TransferServer(SequencedPacketSource):
     """Streams one object's blocks, striped by a cross-block schedule.
 
     Parameters
@@ -50,7 +63,9 @@ class TransferServer:
 
     def __init__(self, codec: ObjectCodec, data: bytes,
                  schedule: str = "interleave",
-                 seed: int = 0, group: int = 0):
+                 seed: int = 0, group: int = 0,
+                 _payloads: Optional[List[np.ndarray]] = None):
+        super().__init__(group=group)
         if len(data) != codec.plan.file_size:
             raise ParameterError(
                 f"object is {len(data)} bytes, codec plans for "
@@ -58,24 +73,41 @@ class TransferServer:
         self.codec = codec
         self.schedule = schedule
         self.seed = int(seed)
-        self.sequencer = HeaderSequencer(group=group)
+        self._data = data
+        if _payloads is None:
+            _payloads = self._materialise(codec, data)
+        #: per-block payload arrays — the encode-once cache every fork
+        #: shares: the (n, P) encoding for fixed-rate codes, the (k, P)
+        #: source block for rateless ones.
+        self._payloads = _payloads
         multi = codec.num_blocks > 1
-        self.block_servers: List[object] = []
+        rateless = codec.is_rateless
+        self.block_sources: List[PacketSource] = []
         for spec in codec.plan.blocks:
-            tag = spec.block if multi else None
-            code = codec.code_for(spec.block)
-            if codec.is_rateless:
-                server: object = RatelessServer(
-                    code, codec.source_block(data, spec.block),
-                    sequencer=self.sequencer, block=tag)
-            else:
-                server = CarouselServer(
-                    code, encoding=codec.encode_block(data, spec.block),
-                    seed=block_seed(self.seed, spec.block),
-                    sequencer=self.sequencer, block=tag)
-            self.block_servers.append(server)
+            payload = self._payloads[spec.block]
+            self.block_sources.append(build_packet_source(
+                codec.code_for(spec.block),
+                source=payload if rateless else None,
+                encoding=None if rateless else payload,
+                seed=block_seed(self.seed, spec.block),
+                sequencer=self._sequencer,
+                block=spec.block if multi else None))
         self._slots = make_schedule(schedule, codec.plan.block_ks)
-        self._streams = [server.packets() for server in self.block_servers]
+        self._streams = [source.packets() for source in self.block_sources]
+
+    @staticmethod
+    def _materialise(codec: ObjectCodec, data: bytes) -> List[np.ndarray]:
+        """The per-block payload arrays (one full encode of the object)."""
+        if codec.is_rateless:
+            return [codec.source_block(data, spec.block)
+                    for spec in codec.plan.blocks]
+        return [codec.encode_block(data, spec.block)
+                for spec in codec.plan.blocks]
+
+    @property
+    def block_servers(self) -> List[PacketSource]:
+        """Deprecated alias of :attr:`block_sources`."""
+        return self.block_sources
 
     @property
     def total_k(self) -> int:
@@ -85,22 +117,32 @@ class TransferServer:
     def num_blocks(self) -> int:
         return self.codec.num_blocks
 
-    def packets(self, count: Optional[int] = None
-                ) -> Iterator[EncodingPacket]:
-        """Yield the next ``count`` striped packets (infinite when None)."""
-        emitted = 0
-        while count is None or emitted < count:
-            block = next(self._slots)
-            yield next(self._streams[block])
-            emitted += 1
+    def _next_packet(self) -> EncodingPacket:
+        return next(self._streams[next(self._slots)])
 
-    def reset(self) -> None:
-        """Rewind the whole striped stream (a fresh session)."""
-        self.sequencer.reset()
-        for server in self.block_servers:
-            server.reset()
+    def _rewind(self) -> None:
+        for source in self.block_sources:
+            source.reset()
         self._slots = make_schedule(self.schedule, self.codec.plan.block_ks)
-        self._streams = [server.packets() for server in self.block_servers]
+        self._streams = [source.packets() for source in self.block_sources]
+
+    def fork(self, *, seed: Optional[int] = None,
+             schedule: Optional[str] = None,
+             group: Optional[int] = None) -> "TransferServer":
+        """An independent stream over the *same* cached encodings.
+
+        The fork shares this server's per-block payload arrays (no
+        re-encode) but owns its own schedule cursor, carousel
+        permutations (when ``seed`` differs) and header sequencer —
+        the encode-once/serve-many shape a transport uses to give each
+        receiver, mirror or retransmission sweep its own stream.
+        """
+        return TransferServer(
+            self.codec, self._data,
+            schedule=self.schedule if schedule is None else schedule,
+            seed=self.seed if seed is None else seed,
+            group=self.group if group is None else group,
+            _payloads=self._payloads)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TransferServer(code={self.codec.code_spec!r}, "

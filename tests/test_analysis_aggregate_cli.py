@@ -187,6 +187,22 @@ class TestCli:
         assert "carousel" in out and "rateless" in out and "layered" in out
         assert "yes (no n)" in out  # lt is flagged rateless
 
+    def test_codes_list_json(self, capsys):
+        """--json shares the table's rows, machine-readable."""
+        import json
+
+        assert cli.main(["codes", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        families = {row["name"]: row for row in payload["families"]}
+        assert set(families) == {"tornado-a", "tornado-b", "lt", "rs",
+                                 "interleaved"}
+        assert families["lt"]["rateless"] is True
+        assert families["lt"]["parameters"] == {"c": 0.03, "delta": 0.1}
+        assert families["rs"]["parameters"]["construction"] == "cauchy"
+        assert "layered" in families["tornado-a"]["modes"]
+        # The JSON rows and the human table come from one formatter.
+        assert set(families) == {row["name"] for row in cli._family_rows()}
+
     def test_send_accepts_spec_strings(self, tmp_path, capsys):
         original = tmp_path / "input.bin"
         original.write_bytes(bytes(np.random.default_rng(2).integers(

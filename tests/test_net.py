@@ -142,6 +142,72 @@ class TestMulticast:
         with pytest.raises(ParameterError):
             net.join(5, 0)
 
+    def test_join_and_leave_mid_sweep(self):
+        """Membership changes take effect from the very next transmit."""
+        net = MulticastNetwork(1)
+        for rid in (1, 2, 3):
+            net.attach_receiver(rid, LossyChannel(BernoulliLoss(0.0),
+                                                  rng=rid))
+        net.join(1, 0)
+        net.join(2, 0)
+        pkt = EncodingPacket(PacketHeader(0, 0, 0),
+                             np.zeros(2, dtype=np.uint8))
+        got = []
+        for step in range(10):
+            if step == 4:
+                net.join(3, 0)      # late joiner catches the tail
+            if step == 7:
+                net.leave(1, 0)     # early leaver misses it
+            net.transmit(0, pkt, lambda rid, p: got.append((step, rid)))
+        per_receiver = {rid: sorted(s for s, r in got if r == rid)
+                        for rid in (1, 2, 3)}
+        assert per_receiver[1] == [0, 1, 2, 3, 4, 5, 6]
+        assert per_receiver[2] == list(range(10))
+        assert per_receiver[3] == [4, 5, 6, 7, 8, 9]
+
+    def test_per_receiver_loss_deterministic_under_seeds(self):
+        """Fixed channel seeds replay the exact same delivery pattern."""
+
+        def run():
+            net = MulticastNetwork(1)
+            for rid in (1, 2):
+                net.attach_receiver(
+                    rid, LossyChannel(BernoulliLoss(0.5), rng=100 + rid))
+                net.join(rid, 0)
+            pkt = EncodingPacket(PacketHeader(0, 0, 0),
+                                 np.zeros(2, dtype=np.uint8))
+            got = []
+            for step in range(200):
+                net.transmit(0, pkt,
+                             lambda rid, p: got.append((step, rid)))
+            return got
+
+        first, second = run(), run()
+        assert first == second
+        # ... and the two receivers' loss processes are independent.
+        assert ({s for s, r in first if r == 1}
+                != {s for s, r in first if r == 2})
+
+    def test_zero_subscriber_group_is_a_no_op(self):
+        """Transmitting into an empty group delivers (and sends) nothing."""
+        net = MulticastNetwork(2)
+        channel = LossyChannel(BernoulliLoss(0.0), rng=0)
+        net.attach_receiver(1, channel)
+        net.join(1, 0)
+        pkt = EncodingPacket(PacketHeader(0, 0, 0),
+                             np.zeros(2, dtype=np.uint8))
+        delivered = []
+        net.transmit(1, pkt, lambda rid, p: delivered.append(rid))
+        assert delivered == []
+        # No subscriber means no channel was exercised at all.
+        assert channel.sent == 0 and channel.delivered == 0
+
+    def test_leave_without_join_is_harmless(self):
+        net = MulticastNetwork(1)
+        net.attach_receiver(1, LossyChannel(BernoulliLoss(0.0), rng=0))
+        net.leave(1, 0)  # never joined: discard, not KeyError
+        assert net.subscribed_groups(1) == []
+
 
 class TestEventLoop:
     def test_ordering(self):

@@ -1,0 +1,201 @@
+"""The PacketSource contract, the source registry, and encode-once forks."""
+
+import numpy as np
+import pytest
+
+from repro.codes.registry import build_code, incremental_decoder
+from repro.errors import ParameterError
+from repro.fountain import (
+    CarouselServer,
+    PacketSource,
+    RatelessServer,
+    available_sources,
+    build_packet_source,
+    register_source,
+)
+from repro.fountain.source import SOURCE_MODES
+from repro.protocol import LayeredPacketSource
+from repro.transfer import BlockPlan, ObjectCodec, TransferClient, TransferServer
+
+
+def _source_block(k, payload, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 256, (k, payload), dtype=np.uint8)
+
+
+class TestProtocolConformance:
+    def test_every_producer_is_a_packet_source(self):
+        src = _source_block(32, 64)
+        tornado = build_code("tornado-a", 32, seed=1)
+        lt = build_code("lt", 32, seed=1)
+        carousel = CarouselServer(tornado, tornado.encode(src), seed=2)
+        rateless = RatelessServer(lt, src)
+        plan = BlockPlan(src.nbytes, packet_size=64, block_packets=16)
+        codec = ObjectCodec(plan, code="tornado-b", seed=3)
+        transfer = TransferServer(codec, src.tobytes())
+        layered = build_packet_source(tornado, src, mode="layered")
+        for source in (carousel, rateless, transfer, layered):
+            assert isinstance(source, PacketSource), type(source)
+
+    def test_counted_emission_continues_across_calls(self):
+        src = _source_block(16, 32)
+        lt = build_code("lt", 16, seed=4)
+        server = RatelessServer(lt, src)
+        first = [p.index for p in server.packets(5)]
+        second = [p.index for p in server.packets(5)]
+        assert first == list(range(5))
+        assert second == list(range(5, 10))
+        server.reset()
+        assert [p.index for p in server.packets(5)] == first
+
+
+class TestRegistry:
+    def test_default_modes(self):
+        assert available_sources() == ["carousel", "layered", "rateless"]
+
+    def test_mode_inferred_from_code(self):
+        src = _source_block(24, 32)
+        fixed = build_packet_source(build_code("tornado-a", 24, seed=1), src)
+        assert isinstance(fixed, CarouselServer)
+        rateless = build_packet_source(build_code("lt", 24, seed=1), src)
+        assert isinstance(rateless, RatelessServer)
+
+    def test_unknown_mode_lists_registered(self):
+        with pytest.raises(ParameterError, match="carousel"):
+            build_packet_source(build_code("lt", 8, seed=0),
+                                _source_block(8, 16), mode="pigeon")
+
+    def test_mode_code_mismatch(self):
+        src = _source_block(8, 16)
+        with pytest.raises(ParameterError, match="fixed-rate"):
+            build_packet_source(build_code("lt", 8, seed=0), src,
+                                mode="carousel")
+        with pytest.raises(ParameterError, match="rateless"):
+            build_packet_source(build_code("rs", 8, seed=0), src,
+                                mode="rateless")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_source("carousel", lambda *a, **kw: None)
+
+    def test_custom_mode_registers_and_builds(self):
+        def factory(code, source=None, **options):
+            return CarouselServer(code, code.encode(source), seed=9)
+
+        register_source("test-mode", factory)
+        try:
+            built = build_packet_source(build_code("rs", 8, seed=0),
+                                        _source_block(8, 16),
+                                        mode="test-mode")
+            assert isinstance(built, CarouselServer)
+        finally:
+            del SOURCE_MODES["test-mode"]
+
+    def test_precomputed_encoding_skips_encode(self):
+        code = build_code("tornado-a", 16, seed=5)
+        src = _source_block(16, 32)
+        encoding = code.encode(src)
+        source = build_packet_source(code, encoding=encoding, seed=1)
+        decoder = incremental_decoder(code, payload_size=32)
+        for packet in source.packets():
+            decoder.add_packet(packet.index, packet.payload)
+            if decoder.is_complete:
+                break
+        assert np.array_equal(decoder.source_data(), src)
+
+
+class TestTransferFork:
+    @pytest.fixture
+    def setup(self):
+        data = bytes(_source_block(1, 40_000, seed=7)[0])
+        plan = BlockPlan(len(data), packet_size=500, block_packets=20)
+        codec = ObjectCodec(plan, code="tornado-b", seed=11)
+        return data, codec
+
+    def test_fork_shares_encodings(self, setup, monkeypatch):
+        data, codec = setup
+        calls = []
+        original = ObjectCodec.encode_block
+
+        def counting(self, data, block):
+            calls.append(block)
+            return original(self, data, block)
+
+        monkeypatch.setattr(ObjectCodec, "encode_block", counting)
+        server = TransferServer(codec, data, seed=1)
+        encoded_once = len(calls)
+        assert encoded_once == codec.num_blocks
+        fork = server.fork(seed=2)
+        assert len(calls) == encoded_once  # no re-encode
+        assert fork is not server
+
+    def test_fork_streams_decode_independently(self, setup):
+        data, codec = setup
+        server = TransferServer(codec, data, seed=1)
+        fork = server.fork(seed=99)
+        for source in (server, fork):
+            client = TransferClient(codec)
+            for packet in source.packets():
+                if client.receive(packet):
+                    break
+            assert client.object_data() == data
+        # Different transmission seeds: different carousel permutations.
+        server.reset()
+        fork.reset()
+        first = [p.index for p in server.packets(30)]
+        second = [p.index for p in fork.packets(30)]
+        assert first != second
+
+    def test_fork_rateless_shares_source_blocks(self):
+        data = bytes(_source_block(1, 30_000, seed=3)[0])
+        plan = BlockPlan(len(data), packet_size=500, block_packets=20)
+        codec = ObjectCodec(plan, code="lt", seed=5)
+        server = TransferServer(codec, data, seed=1)
+        fork = server.fork()
+        assert server._payloads is fork._payloads
+        client = TransferClient(codec)
+        for packet in fork.packets():
+            if client.receive(packet):
+                break
+        assert client.object_data() == data
+
+
+class TestLayeredPacketSource:
+    @pytest.mark.parametrize("spec", ["tornado-a", "lt", "rs"])
+    def test_decodes_over_any_family(self, spec):
+        code = build_code(spec, 40, seed=2)
+        src = _source_block(40, 32, seed=2)
+        source = build_packet_source(code, src, mode="layered", seed=4)
+        assert isinstance(source, LayeredPacketSource)
+        decoder = incremental_decoder(code, payload_size=32)
+        groups = set()
+        for packet in source.packets():
+            groups.add(packet.header.group)
+            decoder.add_packet(packet.index, packet.payload)
+            if decoder.is_complete:
+                break
+        assert np.array_equal(decoder.source_data(), src)
+        assert groups  # layer ids ride the header's group field
+        assert all(g < source.num_layers for g in groups)
+
+    def test_reset_reproduces_stream(self):
+        code = build_code("lt", 24, seed=1)
+        src = _source_block(24, 16, seed=1)
+        source = build_packet_source(code, src, mode="layered", seed=9)
+        first = [(p.index, p.header.serial, p.header.group)
+                 for p in source.packets(40)]
+        source.reset()
+        again = [(p.index, p.header.serial, p.header.group)
+                 for p in source.packets(40)]
+        assert first == again
+
+    def test_rejects_block_sharing(self):
+        code = build_code("lt", 8, seed=0)
+        with pytest.raises(ParameterError, match="layered"):
+            build_packet_source(code, _source_block(8, 16),
+                                mode="layered", block=3)
+
+    def test_fixed_rate_needs_source_or_encoding(self):
+        code = build_code("tornado-a", 16, seed=0)
+        with pytest.raises(ParameterError, match="source block"):
+            build_packet_source(code, mode="layered")
