@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-udp bench-smoke bench-transfer bench-udp docs-check \
-	typecheck all
+.PHONY: test test-udp bench-smoke bench-transfer bench-udp bench-swarm \
+	bench-gate swarm-smoke docs-check typecheck all
 
 all: test docs-check typecheck
 
@@ -33,6 +33,27 @@ bench-transfer:
 # UDP loopback delivery: sender spray rate + end-to-end goodput.
 bench-udp:
 	$(PYTHON) -m pytest -q benchmarks/bench_udp_throughput.py
+
+# Swarm scenario engine: receivers/sec + overhead percentiles at bench
+# scale (publishes BENCH_swarm.json).
+bench-swarm:
+	$(PYTHON) -m pytest -q benchmarks/bench_swarm.py
+
+# The perf-regression gate: compares the freshly produced BENCH_*.json
+# at the repo root against the committed (HEAD) baselines with
+# per-metric tolerances.  Run a bench target first.
+bench-gate:
+	$(PYTHON) tools/check_bench.py
+
+# Quick population-scale pass over committed scenarios: one scaled
+# flash crowd with exact-replay validation, plus a cross-scenario
+# comparison table.
+swarm-smoke:
+	$(PYTHON) -m repro swarm run examples/scenarios/flash_crowd.json \
+		--receivers 3000 --spot-check 8
+	$(PYTHON) -m repro swarm compare \
+		examples/scenarios/layered_tiers.json \
+		examples/scenarios/midstream_joiners.json --receivers 2000
 
 # Fails if any ```python block in the docs does not run as written.
 docs-check:

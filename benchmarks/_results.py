@@ -7,6 +7,13 @@ project's perf trajectory (reception overhead, goodput, packets per
 second) as a small stable JSON file at the repo root.  The conftest's
 ``pytest_sessionfinish`` hook flushes every recorder that collected
 rows, so a partial run (``-k``) only rewrites the files it touched.
+
+The committed ``BENCH_*.json`` files hold only the gated metric rows —
+they are the baselines ``tools/check_bench.py`` compares fresh runs
+against.  Host-dependent run metadata (timestamp, python version,
+machine) lives in the *uncommitted* ``BENCH_runinfo.json`` sidecar, so
+a bench run on an identical-perf machine leaves the committed
+baselines byte-identical for every deterministic metric.
 """
 
 from __future__ import annotations
@@ -18,6 +25,9 @@ import time
 from typing import Any, Dict, List
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: uncommitted sidecar for host-dependent run metadata (gitignored).
+RUNINFO_NAME = "BENCH_runinfo.json"
 
 _RECORDERS: List["BenchRecorder"] = []
 
@@ -38,9 +48,6 @@ class BenchRecorder:
         if not self.rows:
             return
         payload = {
-            "generated_unix": round(time.time(), 1),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
             "results": sorted(self.rows, key=lambda row: row["case"]),
         }
         self.path.write_text(json.dumps(payload, indent=2, sort_keys=True)
@@ -48,6 +55,17 @@ class BenchRecorder:
 
 
 def flush_all() -> None:
-    """Write every recorder that collected rows this session."""
-    for recorder in _RECORDERS:
+    """Write every recorder that collected rows this session, plus the
+    run-metadata sidecar describing the host that produced them."""
+    flushed = [recorder for recorder in _RECORDERS if recorder.rows]
+    for recorder in flushed:
         recorder.flush()
+    if flushed:
+        runinfo = {
+            "generated_unix": round(time.time(), 1),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "files": sorted(recorder.path.name for recorder in flushed),
+        }
+        (REPO_ROOT / RUNINFO_NAME).write_text(
+            json.dumps(runinfo, indent=2, sort_keys=True) + "\n")

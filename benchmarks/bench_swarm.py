@@ -1,0 +1,64 @@
+"""Swarm scenario engine: population-scale simulation throughput.
+
+Runs scaled-down versions of two committed scenarios
+(``examples/scenarios/``) through the vectorized
+:class:`~repro.sim.swarm.SwarmSimulator` and publishes the numbers
+that track the engine's perf trajectory to ``BENCH_swarm.json``:
+simulated receivers per second, and the p50/p99 reception overhead the
+population pays (deterministic for a fixed scenario seed — these rows
+are the regression-gate baseline for the swarm layer).
+
+The full 100k-receiver flash crowd runs in the weekly CI job; here the
+populations are scaled so one pass stays benchmark-smoke sized.
+"""
+
+import pathlib
+
+import pytest
+
+from _results import REPO_ROOT, BenchRecorder
+from repro.sim.swarm import Scenario, SwarmSimulator
+
+SCENARIOS = REPO_ROOT / "examples" / "scenarios"
+
+RESULTS = BenchRecorder("BENCH_swarm.json")
+
+#: (scenario file, receivers to scale to, exact replays to spot check,
+#: agreement tolerance).  The trace case gets a looser bar: burst and
+#: outage structure is approximated at sweep granularity, and the
+#: wildly heterogeneous per-trace loss rates make small replay samples
+#: noisy.
+CASES = [
+    ("flash_crowd.json", 20000, 8, 0.05),
+    ("mobile_traces.json", 4000, 10, 0.08),
+]
+
+
+@pytest.mark.parametrize("file_name,receivers,replays,tolerance",
+                         CASES, ids=[c[0].split(".")[0] for c in CASES])
+def test_swarm_scenario(benchmark, file_name, receivers, replays,
+                        tolerance):
+    """Simulate one committed scenario at bench scale."""
+    scenario = Scenario.load(SCENARIOS / file_name).scaled(receivers)
+
+    result = benchmark.pedantic(
+        lambda: SwarmSimulator(scenario).run(spot_check=replays),
+        rounds=1, iterations=1)
+    summary = result.summary()
+    assert summary["completion_rate"] == 1.0
+    assert result.spot_check is not None \
+        and result.spot_check.agrees(tolerance)
+    benchmark.extra_info["receivers_per_second"] = round(
+        summary["receivers_per_second"])
+    benchmark.extra_info["overhead_p99"] = round(summary["overhead_p99"], 4)
+    RESULTS.record(
+        scenario.name,
+        code=scenario.code,
+        receivers=summary["receivers"],
+        num_blocks=summary["num_blocks"],
+        completion_rate=summary["completion_rate"],
+        overhead_p50=round(summary["overhead_p50"], 4),
+        overhead_p99=round(summary["overhead_p99"], 4),
+        receivers_per_second=round(summary["receivers_per_second"], 1),
+        seconds=round(summary["elapsed_seconds"], 3),
+    )

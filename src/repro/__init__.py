@@ -77,7 +77,8 @@ __version__ = "1.1.0"
 #: does not drag in the whole transfer/net stack until the facade is
 #: actually used.
 _API_EXPORTS = ("api", "SenderSession", "ReceiverSession",
-                "send_file", "receive_stream")
+                "send_file", "receive_stream",
+                "Scenario", "SwarmSimulator", "run_scenario")
 
 
 def __getattr__(name):
@@ -114,5 +115,8 @@ __all__ = [
     "ReceiverSession",
     "send_file",
     "receive_stream",
+    "Scenario",
+    "SwarmSimulator",
+    "run_scenario",
     "__version__",
 ]

@@ -41,6 +41,14 @@ the surviving packets of a simulated lossy channel into
 the survivors into per-block incremental decoders and reconstructs the
 byte-exact original.  Both speak only spec strings — no code class ever
 crosses the API boundary.
+
+Population-scale evaluation rides the same facade: a declarative
+:class:`~repro.sim.swarm.Scenario` (re-exported here, JSON
+round-trippable) describes a whole receiver swarm, and
+:func:`~repro.sim.swarm.run_scenario` simulates it vectorized::
+
+    result = api.run_scenario("examples/scenarios/flash_crowd.json")
+    result.summary()["overhead_p99"]
 """
 
 from __future__ import annotations
@@ -61,6 +69,12 @@ from repro.net.transport.file import (
     manifest_block_aware,
     record_size,
 )
+from repro.sim.swarm import (
+    Scenario,
+    SwarmResult,
+    SwarmSimulator,
+    run_scenario,
+)
 from repro.transfer.blocks import BlockPlan
 from repro.transfer.client import TransferClient
 from repro.transfer.codec import ObjectCodec
@@ -71,9 +85,13 @@ __all__ = [
     "STREAM_NAME",
     "ReceiveReport",
     "ReceiverSession",
+    "Scenario",
     "SendReport",
     "SenderSession",
+    "SwarmResult",
+    "SwarmSimulator",
     "receive_stream",
+    "run_scenario",
     "send_file",
 ]
 

@@ -28,6 +28,12 @@ The downstream-adoption surface of the library::
     python -m repro codes list        # every registered code spec
     python -m repro codes list --json # the same, machine-readable
 
+    # population scale: simulate a declarative many-receiver scenario
+    # (loss models, join/leave churn, rate tiers — see
+    # examples/scenarios/) and report overhead percentiles
+    python -m repro swarm run examples/scenarios/flash_crowd.json
+    python -m repro swarm compare examples/scenarios/*.json --receivers 2000
+
 Every subcommand builds its erasure code through the central registry
 (:mod:`repro.codes.registry`); ``send``/``recv`` are thin shells over
 :func:`repro.api.send_file` / :func:`repro.api.receive_stream`, and
@@ -421,6 +427,91 @@ def cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _swarm_table(summary: dict):
+    """One aggregate table: whole population first, then each group."""
+    from repro.experiments.report import Table
+
+    def pct(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:+.1%}"
+
+    table = Table(
+        title=f"swarm '{summary['scenario']}' — reception overhead",
+        header=["group", "receivers", "complete", "p50", "p99"])
+    table.add_row("(all)", summary["receivers"],
+                  f"{summary['completion_rate']:.1%}",
+                  pct(summary["overhead_p50"]), pct(summary["overhead_p99"]))
+    for group in summary["groups"]:
+        table.add_row(group["group"], group["receivers"],
+                      f"{group['completion_rate']:.1%}",
+                      pct(group["overhead_p50"]), pct(group["overhead_p99"]))
+    return table
+
+
+def _print_swarm_summary(summary: dict) -> None:
+    from repro.experiments.report import render_table
+
+    print(f"{summary['code']} x {summary['num_blocks']} blocks "
+          f"(total_k={summary['total_k']}), "
+          f"schedule={summary['schedule']}")
+    print(f"simulated {summary['receivers']:,} receivers in "
+          f"{summary['elapsed_seconds']:.1f}s "
+          f"({summary['receivers_per_second']:,.0f} receivers/s)")
+    if summary["completion_sweeps_p50"] is not None:
+        print(f"completion: p50 {summary['completion_sweeps_p50']:.2f} "
+              f"sweeps, p99 {summary['completion_sweeps_p99']:.2f} sweeps")
+    print()
+    print(render_table(_swarm_table(summary)))
+
+
+def cmd_swarm_run(args: argparse.Namespace) -> int:
+    from repro.sim.swarm import run_scenario
+
+    result = run_scenario(args.scenario, workers=args.workers,
+                          spot_check=args.spot_check,
+                          receivers=args.receivers)
+    summary = result.summary()
+    _print_swarm_summary(summary)
+    if args.json_out:
+        pathlib.Path(args.json_out).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote summary to {args.json_out}")
+    if result.spot_check is not None:
+        spot = result.spot_check
+        verdict = "OK" if spot.agrees() else "DISAGREES"
+        print(f"\nspot check ({spot.receiver_ids.size} exact replays): "
+              f"structural {spot.structural_mean:+.4f} vs replay "
+              f"{spot.replay_mean:+.4f} "
+              f"(|diff| {spot.mean_difference:.4f}, noise scale "
+              f"{spot.noise_scale:.4f}) {verdict}")
+        if not spot.agrees():
+            return 1
+    return 0
+
+
+def cmd_swarm_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.report import Table, render_table
+    from repro.sim.swarm import run_scenario
+
+    table = Table(
+        title="swarm scenario comparison",
+        header=["scenario", "code", "schedule", "receivers", "complete",
+                "oh p50", "oh p99", "sweeps p50"])
+    for path in args.scenarios:
+        summary = run_scenario(path, workers=args.workers,
+                               receivers=args.receivers).summary()
+        sweeps = summary["completion_sweeps_p50"]
+        table.add_row(
+            summary["scenario"], summary["code"], summary["schedule"],
+            summary["receivers"], f"{summary['completion_rate']:.1%}",
+            "-" if summary["overhead_p50"] is None
+            else f"{summary['overhead_p50']:+.1%}",
+            "-" if summary["overhead_p99"] is None
+            else f"{summary['overhead_p99']:+.1%}",
+            "-" if sweeps is None else f"{sweeps:.2f}")
+    print(render_table(table))
+    return 0
+
+
 def cmd_lt_info(args: argparse.Namespace) -> int:
     code = build_code(_lt_spec(args), args.k, seed=args.seed)
     spike = robust_soliton_spike(args.k, c=args.c, delta=args.delta)
@@ -550,6 +641,37 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--timeout", type=float, default=10.0,
                        help="udp: seconds of silence before giving up")
     fetch.set_defaults(func=cmd_fetch)
+
+    swarm = sub.add_parser(
+        "swarm",
+        help="population-scale simulations from declarative scenario "
+             "files (see examples/scenarios/)")
+    swarm_sub = swarm.add_subparsers(dest="swarm_command", required=True)
+
+    swarm_run = swarm_sub.add_parser(
+        "run", help="simulate one scenario JSON file")
+    swarm_run.add_argument("scenario", help="scenario JSON file")
+    swarm_run.add_argument("--receivers", type=int, default=None,
+                           help="rescale the population to this many "
+                                "receivers (group proportions preserved)")
+    swarm_run.add_argument("--workers", type=int, default=None,
+                           help="fan the population out over N processes")
+    swarm_run.add_argument("--spot-check", type=int, default=0,
+                           help="validate against this many exact "
+                                "TransferClient replays (exit 1 on "
+                                "disagreement)")
+    swarm_run.add_argument("--json", dest="json_out", default=None,
+                           help="also write the summary to this JSON file")
+    swarm_run.set_defaults(func=cmd_swarm_run)
+
+    swarm_cmp = swarm_sub.add_parser(
+        "compare", help="run several scenarios and tabulate side by side")
+    swarm_cmp.add_argument("scenarios", nargs="+",
+                           help="scenario JSON files")
+    swarm_cmp.add_argument("--receivers", type=int, default=None,
+                           help="rescale every population")
+    swarm_cmp.add_argument("--workers", type=int, default=None)
+    swarm_cmp.set_defaults(func=cmd_swarm_compare)
 
     lt = sub.add_parser(
         "lt", help="rateless (LT) encode/decode/simulate — a true fountain")

@@ -12,6 +12,9 @@
   timing tables.
 * :mod:`repro.sim.transfer` — block-segmented file transfer under loss
   (interleaved vs. sequential cross-block schedules).
+* :mod:`repro.sim.swarm` — declarative many-receiver swarm scenarios,
+  run vectorized over the whole population (with exact-replay spot
+  checks).
 """
 
 from repro.sim.overhead import (
@@ -38,6 +41,17 @@ from repro.sim.transfer import (
     compare_schedules,
     simulate_transfer,
 )
+from repro.sim.swarm import (
+    LossSpec,
+    ReceiverGroup,
+    Scenario,
+    SpotCheckResult,
+    SwarmResult,
+    SwarmSimulator,
+    load_scenario,
+    replay_receivers,
+    run_scenario,
+)
 
 __all__ = [
     "ThresholdPool",
@@ -57,4 +71,13 @@ __all__ = [
     "TransferRunResult",
     "simulate_transfer",
     "compare_schedules",
+    "LossSpec",
+    "ReceiverGroup",
+    "Scenario",
+    "SpotCheckResult",
+    "SwarmResult",
+    "SwarmSimulator",
+    "load_scenario",
+    "replay_receivers",
+    "run_scenario",
 ]

@@ -1,0 +1,158 @@
+"""tools/check_bench.py: the perf-regression gate must pass honest runs
+and demonstrably fail on injected regressions."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    pathlib.Path(__file__).resolve().parent.parent / "tools"
+    / "check_bench.py")
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+BASELINE = {
+    "results": [
+        {
+            "case": "flash-crowd",
+            "code": "tornado-b",
+            "receivers": 20000,
+            "num_blocks": 64,
+            "completion_rate": 1.0,
+            "overhead_p50": 0.065,
+            "overhead_p99": 0.175,
+            "receivers_per_second": 14000.0,
+            "seconds": 1.4,
+        },
+        {
+            "case": "spray",
+            "sender_pps": 120000,
+            "packets": 4000,
+        },
+    ]
+}
+
+
+def write_pair(tmp_path, current_mutation=None):
+    """Baseline and (optionally mutated) current dirs for main()."""
+    base_dir = tmp_path / "baseline"
+    cur_dir = tmp_path / "current"
+    base_dir.mkdir()
+    cur_dir.mkdir()
+    (base_dir / "BENCH_x.json").write_text(json.dumps(BASELINE))
+    current = json.loads(json.dumps(BASELINE))
+    if current_mutation is not None:
+        current_mutation(current)
+    (cur_dir / "BENCH_x.json").write_text(json.dumps(current))
+    return ["--baseline-dir", str(base_dir), "--current-dir", str(cur_dir)]
+
+
+class TestMetricRules:
+    def test_config_drift_fails(self):
+        assert check_bench.compare_metric("num_blocks", 64, 32) is not None
+        assert check_bench.compare_metric("code", "tornado-b", "lt") \
+            is not None
+        assert check_bench.compare_metric("num_blocks", 64, 64) is None
+
+    def test_overhead_gates_worse_direction_only(self):
+        assert check_bench.compare_metric("overhead_p99", 0.10, 0.30) \
+            is not None
+        assert check_bench.compare_metric("overhead_p99", 0.10, 0.12) is None
+        # improvement never fails
+        assert check_bench.compare_metric("overhead_p99", 0.10, 0.01) is None
+
+    def test_completion_rate_gates_drops(self):
+        assert check_bench.compare_metric("completion_rate", 1.0, 0.9) \
+            is not None
+        assert check_bench.compare_metric("completion_rate", 1.0, 0.99) \
+            is None
+
+    def test_timing_allows_wobble_gates_collapse(self):
+        assert check_bench.compare_metric("seconds", 1.0, 3.0) is None
+        assert check_bench.compare_metric("seconds", 1.0, 5.0) is not None
+        assert check_bench.compare_metric("receivers_per_second",
+                                          10000.0, 4000.0) is None
+        assert check_bench.compare_metric("receivers_per_second",
+                                          10000.0, 2000.0) is not None
+
+    def test_non_numeric_current_fails(self):
+        assert check_bench.compare_metric("seconds", 1.0, "fast") \
+            is not None
+
+
+class TestCompare:
+    def test_identical_passes(self, tmp_path, capsys):
+        assert check_bench.main(write_pair(tmp_path)) == 0
+        assert "pass the perf gate" in capsys.readouterr().out
+
+    def test_injected_overhead_regression_fails(self, tmp_path, capsys):
+        def worsen(payload):
+            payload["results"][0]["overhead_p99"] = 0.5
+
+        assert check_bench.main(write_pair(tmp_path, worsen)) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "overhead_p99" in out
+
+    def test_throughput_collapse_fails(self, tmp_path):
+        def collapse(payload):
+            payload["results"][0]["receivers_per_second"] = 1000.0
+
+        assert check_bench.main(write_pair(tmp_path, collapse)) == 1
+
+    def test_timing_wobble_passes(self, tmp_path):
+        def wobble(payload):
+            payload["results"][0]["seconds"] = 2.8
+            payload["results"][0]["receivers_per_second"] = 5000.0
+
+        assert check_bench.main(write_pair(tmp_path, wobble)) == 0
+
+    def test_missing_case_fails(self, tmp_path, capsys):
+        def drop(payload):
+            payload["results"] = payload["results"][:1]
+
+        assert check_bench.main(write_pair(tmp_path, drop)) == 1
+        assert "case missing" in capsys.readouterr().out
+
+    def test_missing_metric_fails(self, tmp_path, capsys):
+        def drop(payload):
+            del payload["results"][0]["overhead_p50"]
+
+        assert check_bench.main(write_pair(tmp_path, drop)) == 1
+        assert "metric missing" in capsys.readouterr().out
+
+    def test_new_case_and_metric_pass_with_note(self, tmp_path, capsys):
+        def extend(payload):
+            payload["results"][0]["overhead_p999"] = 0.4
+            payload["results"].append({"case": "brand-new", "seconds": 1.0})
+
+        assert check_bench.main(write_pair(tmp_path, extend)) == 0
+        out = capsys.readouterr().out
+        assert "new metric" in out and "new case" in out
+
+    def test_config_drift_fails_gate(self, tmp_path, capsys):
+        def drift(payload):
+            payload["results"][0]["receivers"] = 10000
+
+        assert check_bench.main(write_pair(tmp_path, drift)) == 1
+        assert "configuration drift" in capsys.readouterr().out
+
+    def test_no_summaries_errors(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SystemExit):
+            check_bench.main(["--baseline-dir", str(tmp_path),
+                              "--current-dir", str(tmp_path / "empty")])
+
+
+class TestAgainstCommittedBaselines:
+    def test_committed_baselines_self_compare(self, capsys):
+        """Every committed BENCH_*.json passes against itself via the
+        directory path (sanity for the schemas the gate expects)."""
+        root = check_bench.REPO_ROOT
+        if not list(root.glob("BENCH_*.json")):
+            pytest.skip("no committed benchmark summaries")
+        assert check_bench.main(["--baseline-dir", str(root),
+                                 "--current-dir", str(root)]) == 0

@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""check_bench: the perf-regression gate over ``BENCH_*.json`` summaries.
+
+Compares freshly produced benchmark summaries against committed
+baselines, metric by metric, with per-metric tolerance rules:
+
+* *config echoes* (``family``, ``num_blocks``, ``receivers``, ...) must
+  match exactly — drift means the benchmark is no longer measuring the
+  same thing, which would silently invalidate every other comparison;
+* *quality metrics* (reception overhead, completion rate) gate the
+  direction that means a regression, with tight absolute+relative
+  tolerances — these are deterministic for seeded runs, so honest runs
+  sit well inside the bounds;
+* *timing metrics* (seconds, throughput, packets/receivers per second)
+  gate only gross collapses (a generous worse-direction factor), since
+  CI hardware wobbles;
+* a case or metric present in the baseline but missing from the fresh
+  run is a regression (coverage must not silently shrink); new cases
+  and metrics are reported but pass.
+
+Baselines come from ``git show <rev>:<file>`` by default (``--baseline-git
+HEAD``), so the gate runs after a bench pass has overwritten the
+worktree copies; ``--baseline-dir`` points at a directory of saved
+baselines instead (used by the unit tests).  Exits non-zero on any
+regression, printing one line per offending metric.
+
+Usage::
+
+    make bench-smoke                # regenerates BENCH_*.json
+    python tools/check_bench.py     # gate vs the committed (HEAD) copies
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: metrics that echo benchmark configuration; any drift fails the gate.
+CONFIG_KEYS = {
+    "case", "family", "code", "schedule", "construction",
+    "block_packets", "num_blocks", "file_size", "packet_size",
+    "loss", "k", "n", "receivers", "blocks", "destinations",
+}
+
+#: ordered (pattern, direction, rule) — first match wins.  ``factor``
+#: rules allow that multiplicative worsening before failing (timing
+#: metrics on shared CI hardware); ``abs_tol``/``rel_tol`` rules allow
+#: ``max(abs_tol, rel_tol * |baseline|)`` of worsening.
+METRIC_RULES: List[Tuple[str, str, Dict[str, float]]] = [
+    (r"(seconds|elapsed|_ms$|_s$)", "lower", {"factor": 4.0}),
+    (r"(throughput|mbps|per_sec|per_second|goodput|pkt_s|pps)",
+     "higher", {"factor": 4.0}),
+    (r"overhead", "lower", {"abs_tol": 0.05, "rel_tol": 0.5}),
+    (r"(completion|efficiency|eta|rate)", "higher",
+     {"abs_tol": 0.02, "rel_tol": 0.05}),
+]
+
+#: fallback for unclassified numeric metrics: generous two-sided drift.
+DEFAULT_RULE = ("both", {"abs_tol": 1e-9, "rel_tol": 0.5})
+
+
+class Regression:
+    """One failed comparison, with enough context to act on."""
+
+    def __init__(self, file: str, case: str, metric: str, detail: str):
+        self.file = file
+        self.case = case
+        self.metric = metric
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return (f"REGRESSION {self.file} [{self.case}] {self.metric}: "
+                f"{self.detail}")
+
+
+def classify(metric: str) -> Tuple[str, Dict[str, float]]:
+    """The comparison rule for one metric name."""
+    if metric in CONFIG_KEYS:
+        return ("exact", {})
+    lowered = metric.lower()
+    for pattern, direction, rule in METRIC_RULES:
+        if re.search(pattern, lowered):
+            return (direction, rule)
+    return DEFAULT_RULE
+
+
+def _allowance(baseline: float, rule: Dict[str, float]) -> float:
+    return max(rule.get("abs_tol", 0.0),
+               rule.get("rel_tol", 0.0) * abs(baseline))
+
+
+def compare_metric(metric: str, baseline: Any, current: Any
+                   ) -> Optional[str]:
+    """None when ``current`` passes against ``baseline``, else a reason."""
+    direction, rule = classify(metric)
+    if direction == "exact" or not isinstance(baseline, (int, float)) \
+            or isinstance(baseline, bool):
+        if baseline != current:
+            return (f"configuration drift: baseline {baseline!r} != "
+                    f"current {current!r}")
+        return None
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        return f"baseline is numeric ({baseline!r}), current is {current!r}"
+    if "factor" in rule:
+        factor = rule["factor"]
+        slack = rule.get("abs_tol", 0.0)
+        if direction == "lower" and current > baseline * factor + slack:
+            return (f"{current} exceeds {factor:g}x the baseline "
+                    f"{baseline} (timing gate)")
+        if direction == "higher" and current < baseline / factor - slack:
+            return (f"{current} fell below 1/{factor:g} of the baseline "
+                    f"{baseline} (timing gate)")
+        return None
+    allowed = _allowance(float(baseline), rule)
+    delta = float(current) - float(baseline)
+    if direction == "lower" and delta > allowed:
+        return (f"worsened by {delta:+.4g} (baseline {baseline}, "
+                f"current {current}, allowed +{allowed:.4g})")
+    if direction == "higher" and -delta > allowed:
+        return (f"worsened by {delta:+.4g} (baseline {baseline}, "
+                f"current {current}, allowed -{allowed:.4g})")
+    if direction == "both" and abs(delta) > allowed:
+        return (f"drifted by {delta:+.4g} (baseline {baseline}, "
+                f"current {current}, allowed ±{allowed:.4g})")
+    return None
+
+
+def _rows_by_case(payload: dict, origin: str) -> Dict[str, dict]:
+    rows = payload.get("results")
+    if not isinstance(rows, list):
+        raise SystemExit(f"error: {origin} has no 'results' list")
+    return {row["case"]: row for row in rows}
+
+
+def compare_payloads(file_name: str, baseline: dict, current: dict
+                     ) -> Tuple[List[Regression], List[str]]:
+    """All regressions plus informational notes for one summary file."""
+    regressions: List[Regression] = []
+    notes: List[str] = []
+    base_rows = _rows_by_case(baseline, f"baseline {file_name}")
+    cur_rows = _rows_by_case(current, f"current {file_name}")
+    for case, base_row in sorted(base_rows.items()):
+        cur_row = cur_rows.get(case)
+        if cur_row is None:
+            regressions.append(Regression(
+                file_name, case, "-", "case missing from the fresh run"))
+            continue
+        for metric, base_value in sorted(base_row.items()):
+            if metric == "case":
+                continue
+            if metric not in cur_row:
+                regressions.append(Regression(
+                    file_name, case, metric,
+                    "metric missing from the fresh run"))
+                continue
+            reason = compare_metric(metric, base_value, cur_row[metric])
+            if reason is not None:
+                regressions.append(
+                    Regression(file_name, case, metric, reason))
+        for metric in sorted(set(cur_row) - set(base_row)):
+            notes.append(f"note: {file_name} [{case}] new metric {metric}")
+    for case in sorted(set(cur_rows) - set(base_rows)):
+        notes.append(f"note: {file_name} new case {case}")
+    return regressions, notes
+
+
+def _git_baseline(rev: str, file_name: str) -> Optional[dict]:
+    proc = subprocess.run(
+        ["git", "show", f"{rev}:{file_name}"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def iter_comparisons(current_dir: pathlib.Path,
+                     baseline_dir: Optional[pathlib.Path],
+                     baseline_git: str,
+                     pattern: str) -> Iterator[Tuple[str, dict, dict]]:
+    """Yield ``(file_name, baseline_payload, current_payload)`` pairs."""
+    names = sorted(p.name for p in current_dir.glob(pattern)
+                   if p.name != "BENCH_runinfo.json")
+    if not names:
+        raise SystemExit(
+            f"error: no {pattern} files in {current_dir} — run the "
+            "benchmarks first (make bench-smoke)")
+    for name in names:
+        if baseline_dir is not None:
+            base_path = baseline_dir / name
+            if not base_path.exists():
+                print(f"note: no baseline for {name}; skipping")
+                continue
+            baseline = json.loads(base_path.read_text())
+        else:
+            baseline = _git_baseline(baseline_git, name)
+            if baseline is None:
+                print(f"note: {name} not committed at {baseline_git}; "
+                      "skipping")
+                continue
+        current = json.loads((current_dir / name).read_text())
+        yield name, baseline, current
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh BENCH_*.json summaries regress "
+                    "against their committed baselines")
+    parser.add_argument("--current-dir", type=pathlib.Path,
+                        default=REPO_ROOT,
+                        help="directory holding the fresh summaries "
+                             "(default: the repo root)")
+    parser.add_argument("--baseline-dir", type=pathlib.Path, default=None,
+                        help="directory of baseline summaries (overrides "
+                             "--baseline-git)")
+    parser.add_argument("--baseline-git", default="HEAD",
+                        help="git revision to read baselines from "
+                             "(default: HEAD)")
+    parser.add_argument("--pattern", default="BENCH_*.json",
+                        help="summary file glob (default: BENCH_*.json)")
+    args = parser.parse_args(argv)
+
+    all_regressions: List[Regression] = []
+    compared = 0
+    for name, baseline, current in iter_comparisons(
+            args.current_dir, args.baseline_dir, args.baseline_git,
+            args.pattern):
+        regressions, notes = compare_payloads(name, baseline, current)
+        for note in notes:
+            print(note)
+        cases = len(_rows_by_case(baseline, name))
+        compared += 1
+        if regressions:
+            for regression in regressions:
+                print(regression)
+        else:
+            print(f"ok   {name}: {cases} case(s) within tolerance")
+        all_regressions.extend(regressions)
+    if all_regressions:
+        print(f"\n{len(all_regressions)} regression(s) across "
+              f"{compared} summary file(s)")
+        return 1
+    if compared == 0:
+        print("error: no summaries had a baseline to compare against — "
+              "the gate checked nothing")
+        return 1
+    print(f"all {compared} summary file(s) pass the perf gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
