@@ -4,14 +4,37 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-udp bench-smoke bench-transfer bench-udp bench-swarm \
-	bench-gate swarm-smoke docs-check typecheck all
+.PHONY: test test-reference coverage test-udp bench-smoke bench-transfer \
+	bench-udp bench-swarm bench-gate swarm-smoke docs-check typecheck all
 
 all: test docs-check typecheck
 
 # Tier-1: the full test suite (the bar every change must clear).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Tier-1 with the scalar reference backend forced.  The reference
+# implementations are the oracle the differential tests pin the
+# vectorized kernels against, so they must stay green on every change —
+# not only when someone remembers to flip the env var locally.
+test-reference:
+	REPRO_CODEC_BACKEND=reference $(PYTHON) -m pytest -x -q
+
+# Line coverage of the codec core (src/repro/codes + src/repro/gf),
+# accumulated across both backends so reference-only and
+# vectorized-only branches both count.  Skips gracefully when
+# pytest-cov is not installed (CI installs it and runs this for real).
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q --cov=repro.codes --cov=repro.gf \
+			--cov-report= ; \
+		REPRO_CODEC_BACKEND=reference $(PYTHON) -m pytest -q \
+			--cov=repro.codes --cov=repro.gf --cov-append \
+			--cov-report=term-missing:skip-covered ; \
+	else \
+		echo "pytest-cov not installed; skipping coverage" \
+			"(pip install pytest-cov)"; \
+	fi
 
 # Just the transport layer (framing, pacing, memory/file/UDP delivery).
 # Binds real loopback sockets; skips gracefully where unavailable.

@@ -17,9 +17,12 @@ machine-readable across PRs.
 
 import time
 
+import numpy as np
 import pytest
 
 from _results import BenchRecorder
+from repro.codes.backend import use_backend
+from repro.codes.registry import REGISTRY, build_code, incremental_decoder
 from repro.sim.transfer import simulate_transfer
 
 FILE_SIZE = 384 * 1024
@@ -29,16 +32,27 @@ LOSS = 0.1
 #: source packets per block — the swept axis (>= 3 sizes).
 BLOCK_PACKETS = [64, 128, 384]
 
+#: raw-codec measurement geometry (one transfer block's worth).
+RAW_K = 128
+
 RESULTS = BenchRecorder("BENCH_transfer.json")
 
 
 def _run_pipeline(family, block_packets, schedule="interleave"):
-    """One timed, payload-exact transfer; returns (result, seconds)."""
-    start = time.perf_counter()
-    result = simulate_transfer(FILE_SIZE, packet_size=PACKET_SIZE,
-                               block_packets=block_packets, family=family,
-                               schedule=schedule, loss=LOSS, seed=11)
-    elapsed = time.perf_counter() - start
+    """One timed, payload-exact transfer; returns (result, seconds).
+
+    Best of two passes, matching the raw-codec measurements below: the
+    first pass pays one-off allocator and table-cache costs that would
+    otherwise dominate a sub-50 ms pipeline timing.
+    """
+    elapsed = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        result = simulate_transfer(FILE_SIZE, packet_size=PACKET_SIZE,
+                                   block_packets=block_packets,
+                                   family=family, schedule=schedule,
+                                   loss=LOSS, seed=11)
+        elapsed = min(elapsed, time.perf_counter() - start)
     assert result.verified
     return result, elapsed
 
@@ -68,6 +82,67 @@ def test_transfer_block_size_sweep(benchmark, family, block_packets):
         seconds=round(elapsed, 4),
     )
     assert result.reception_overhead < 1.0
+
+
+def _raw_codec_rates(family, backend):
+    """Raw encode/decode MB/s of one block under one backend.
+
+    No channel or transfer machinery — just the codec kernels on a
+    ``(RAW_K, PACKET_SIZE)`` block, best of three passes.  Decode feeds
+    a deterministic survivor set (every other packet lost) through the
+    family's incremental decoder, the path the transfer client runs.
+    """
+    block_bytes = RAW_K * PACKET_SIZE
+    rng = np.random.default_rng(17)
+    source = rng.integers(0, 256, size=(RAW_K, PACKET_SIZE), dtype=np.uint8)
+    with use_backend(backend):
+        code = build_code(family, RAW_K, seed=17)
+        rateless = REGISTRY.is_rateless(family)
+        encode_s = decode_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            encoded = (code.encode(source, 2 * RAW_K) if rateless
+                       else code.encode(source))
+            encode_s = min(encode_s, time.perf_counter() - start)
+        survivors = np.random.default_rng(3).permutation(encoded.shape[0])
+        for _ in range(3):
+            decoder = incremental_decoder(code, payload_size=PACKET_SIZE)
+            start = time.perf_counter()
+            for index in survivors:
+                decoder.add_packet(int(index), encoded[index])
+                if decoder.is_complete:
+                    break
+            recovered = decoder.source_data()
+            decode_s = min(decode_s, time.perf_counter() - start)
+        assert np.array_equal(recovered, source)
+    return block_bytes / encode_s / 1e6, block_bytes / decode_s / 1e6
+
+
+@pytest.mark.parametrize("family", ["tornado-b", "lt", "rs"])
+def test_raw_codec_throughput(benchmark, family):
+    """Raw encode/decode MB/s per backend, and the vectorized speedup."""
+
+    def measure():
+        vec = _raw_codec_rates(family, "vectorized")
+        ref = _raw_codec_rates(family, "reference")
+        return vec, ref
+
+    (enc_vec, dec_vec), (enc_ref, dec_ref) = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    benchmark.extra_info["encode_MBps_vectorized"] = round(enc_vec, 1)
+    benchmark.extra_info["decode_MBps_vectorized"] = round(dec_vec, 1)
+    RESULTS.record(
+        f"raw-{family}-k{RAW_K}",
+        family=family,
+        k=RAW_K,
+        packet_size=PACKET_SIZE,
+        encode_MBps_vectorized=round(enc_vec, 1),
+        encode_MBps_reference=round(enc_ref, 1),
+        decode_MBps_vectorized=round(dec_vec, 1),
+        decode_MBps_reference=round(dec_ref, 1),
+        encode_speedup=round(enc_vec / enc_ref, 1),
+        decode_speedup=round(dec_vec / dec_ref, 1),
+    )
 
 
 def test_transfer_schedule_gap(benchmark):

@@ -1,0 +1,85 @@
+"""Codec backend selection: ``vectorized`` (default) vs ``reference``.
+
+The codec stack keeps two implementations of every hot kernel:
+
+* **vectorized** — whole-block numpy passes: droplet payloads for a
+  batch of ids in one gather + ``bitwise_xor.reduceat``, peeling waves
+  applied with sort + segmented reductions, GF(256) multiplies as
+  log/exp table lookups on arrays.
+* **reference** — the original one-packet-at-a-time code paths.  They
+  are the *oracle*: the differential harness
+  (``tests/test_differential_codecs.py``) drives both backends through
+  identical seed/loss realisations and asserts byte-identical packets
+  and recoveries.
+
+Both backends share every code *definition* (droplet derivation, graph
+construction, field tables); the backend only selects the execution
+strategy, so switching it never changes what bytes go on the wire.
+
+Selection is dynamic: the ``REPRO_CODEC_BACKEND`` environment variable
+is consulted on every :func:`active_backend` call, and
+:func:`use_backend` scopes an override to a ``with`` block (used by the
+differential tests to run both implementations in one process).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["BACKENDS", "active_backend", "is_vectorized", "set_backend",
+           "use_backend"]
+
+#: recognised backend names.
+BACKENDS = ("vectorized", "reference")
+
+#: environment variable consulted when no explicit override is set.
+BACKEND_ENV = "REPRO_CODEC_BACKEND"
+
+#: process-wide override installed by set_backend/use_backend;
+#: ``None`` defers to the environment.
+_override: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    name = name.strip().lower()
+    if name not in BACKENDS:
+        raise ParameterError(
+            f"unknown codec backend {name!r}; choose one of {BACKENDS}")
+    return name
+
+
+def active_backend() -> str:
+    """The backend name in effect right now."""
+    if _override is not None:
+        return _override
+    env = os.environ.get(BACKEND_ENV)
+    if env:
+        return _validate(env)
+    return "vectorized"
+
+
+def is_vectorized() -> bool:
+    """True when the vectorized kernels should run."""
+    return active_backend() == "vectorized"
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Install a process-wide backend override (``None`` clears it)."""
+    global _override
+    _override = None if name is None else _validate(name)
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scope a backend override to a ``with`` block (re-entrant)."""
+    global _override
+    previous = _override
+    _override = _validate(name)
+    try:
+        yield
+    finally:
+        _override = previous

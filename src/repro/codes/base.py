@@ -69,6 +69,47 @@ def packets_to_bytes(packets: np.ndarray, length: Optional[int] = None) -> bytes
     return raw if length is None else raw[:length]
 
 
+class BlockEncoder:
+    """A lazily materialised ``(n, P)`` encoding of one source block.
+
+    Presents the array surface a carousel needs — ``shape``, ``len`` and
+    row indexing (scalar or fancy) — while deferring the actual encode
+    work.  A digital-fountain sender rarely emits the whole encoding
+    before every receiver completes, so rows it never hands out are rows
+    it never has to compute.  Indexing returns exactly the rows
+    ``code.encode(source)`` would, byte for byte, under either backend.
+
+    This base implementation runs the full encode on first payload
+    access (correct for any code); codes with a cheap partial encode
+    override :meth:`_materialise` or ``__getitem__``.  Instances are
+    shared freely — e.g. across the forks of a transfer server, even on
+    different threads: a cached row is only ever written with its one
+    deterministic value, so the worst a concurrent duplicate fill can
+    do is write identical bytes twice.
+    """
+
+    def __init__(self, code: "ErasureCode", source: np.ndarray):
+        self._code = code
+        self._source = np.asarray(source)
+        self._encoding: Optional[np.ndarray] = None
+
+    @property
+    def shape(self) -> tuple:
+        """The ``(n, P)`` shape of the full encoding (no encode forced)."""
+        return (self._code.n, self._source.shape[1])
+
+    def __len__(self) -> int:
+        return self._code.n
+
+    def _materialise(self) -> np.ndarray:
+        if self._encoding is None:
+            self._encoding = self._code.encode(self._source)
+        return self._encoding
+
+    def __getitem__(self, index):
+        return self._materialise()[index]
+
+
 class ErasureCode(abc.ABC):
     """Abstract systematic erasure code over fixed-length packets.
 
@@ -129,6 +170,15 @@ class ErasureCode(abc.ABC):
             else:
                 lo = mid + 1
         return lo
+
+    def block_encoder(self, source: np.ndarray) -> BlockEncoder:
+        """A lazy row-on-demand view of ``encode(source)``.
+
+        Subclasses with partial-encode structure (systematic prefixes,
+        per-row redundancy products) override this to return encoders
+        that compute only the rows actually requested.
+        """
+        return BlockEncoder(self, source)
 
     def decode_packets(self, packets: Iterable[ReceivedPacket]) -> np.ndarray:
         """Convenience wrapper accepting :class:`ReceivedPacket` objects."""

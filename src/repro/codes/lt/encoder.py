@@ -3,10 +3,21 @@
 The fountain property hinges on sender and receiver agreeing on what
 each droplet *is* without shipping its neighbour list: droplet ``i`` is
 defined entirely by the shared ``(k, degree distribution, seed)`` triple
-plus the droplet id ``i`` carried in the packet header.  Both sides
-derive the same per-droplet random stream with
-:func:`numpy.random.default_rng` seeded on ``[seed, stream, id]``, draw a
-degree from the soliton pmf, and pick that many distinct source packets.
+plus the droplet id ``i`` carried in the packet header.
+
+The derivation is a counter-mode hash, chosen so that one droplet costs
+a handful of integer mixes and a *batch* of droplets vectorises to a few
+numpy passes (the scalar and array paths below are bit-identical —
+pinned by the differential tests):
+
+* per-droplet words come from the splitmix64 mix of
+  ``key + 65536 * id + j`` where ``key`` folds the seed and ``k``;
+* word 0 becomes a uniform in ``[0, 1)`` and an inverse-cdf lookup in
+  the degree pmf gives the droplet degree;
+* words 1..4 key a 4-round Feistel network over a power-of-two domain
+  covering ``[0, k)``; walking the permutation at ``x = 0, 1, 2, ...``
+  and keeping outputs below ``k`` (cycle walking) yields the neighbour
+  indices — distinct by construction, no rejection bookkeeping.
 
 :class:`DropletSpec` is the shared agreement (the LT analogue of the
 Tornado :class:`~repro.codes.tornado.graph.CascadeStructure`);
@@ -19,19 +30,47 @@ table, no stretch-factor ceiling, droplet ids may grow without bound
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
 
+from repro.codes.backend import is_vectorized
 from repro.codes.base import as_packet_block
 from repro.codes.degree import DegreeDistribution
 from repro.errors import ParameterError
-
-#: rng stream label separating droplet construction from any simulation
-#: streams derived from the same user seed.
-_DROPLET_STREAM = 0xD809
+from repro.utils.packed import xor_view
 
 __all__ = ["DropletSpec", "LTEncoder"]
+
+_MASK64 = (1 << 64) - 1
+
+#: stream label folded into the spec key, separating droplet
+#: construction from any simulation streams derived from the same seed.
+_DROPLET_STREAM = 0xD809
+
+#: word stride between consecutive droplet ids; ids use words
+#: ``key + 65536*id + j`` with ``j`` in [0, 5), so windows never overlap.
+_ID_STRIDE = 1 << 16
+
+#: Feistel rounds (4 rounds of an unbalanced mix are ample for the
+#: statistical quality a soliton neighbour pick needs).
+_ROUNDS = 4
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finaliser on a python integer (exact 64-bit wrap)."""
+    z = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _splitmix64_np(x: np.ndarray) -> np.ndarray:
+    """Vector splitmix64 on uint64 arrays, bit-identical to the scalar."""
+    z = x + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
 
 
 @dataclass(frozen=True)
@@ -53,6 +92,9 @@ class DropletSpec:
     degree_dist: DegreeDistribution
     seed: int = 0
     _degree_cdf: np.ndarray = field(init=False, repr=False, compare=False)
+    _degree_table: np.ndarray = field(init=False, repr=False, compare=False)
+    _key: int = field(init=False, repr=False, compare=False)
+    _half_bits: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -64,31 +106,143 @@ class DropletSpec:
                                    dtype=float))
         cdf[-1] = 1.0
         object.__setattr__(self, "_degree_cdf", cdf)
+        object.__setattr__(self, "_degree_table",
+                           np.asarray(self.degree_dist.degrees,
+                                      dtype=np.int64))
+        key = _splitmix64((int(self.seed) ^ _DROPLET_STREAM) & _MASK64)
+        object.__setattr__(self, "_key", _splitmix64(key ^ self.k))
+        # Feistel domain 2**(2*half_bits) is the smallest even-bit power
+        # of two covering [0, k); cycle walking keeps outputs below k.
+        bits = max(1, (self.k - 1).bit_length())
+        object.__setattr__(self, "_half_bits", (bits + 1) // 2)
 
-    def droplet_rng(self, droplet_id: int) -> np.random.Generator:
-        """The deterministic random stream of one droplet."""
-        if droplet_id < 0:
-            raise ParameterError("droplet id must be >= 0")
-        return np.random.default_rng(
-            [int(self.seed), _DROPLET_STREAM, int(droplet_id)])
+    # -- scalar derivation (the reference path) --------------------------------
+
+    def _word(self, droplet_id: int, j: int) -> int:
+        return _splitmix64((self._key + _ID_STRIDE * droplet_id + j)
+                           & _MASK64)
 
     def degree(self, droplet_id: int) -> int:
-        """The degree of droplet ``droplet_id`` (first value of its stream)."""
-        return int(self.neighbours(droplet_id).size)
+        """The degree of droplet ``droplet_id`` (first word of its stream)."""
+        if droplet_id < 0:
+            raise ParameterError("droplet id must be >= 0")
+        u = (self._word(droplet_id, 0) >> 11) * 2.0 ** -53
+        slot = int(np.searchsorted(self._degree_cdf, u, side="right"))
+        slot = min(slot, self._degree_table.size - 1)
+        return int(self._degree_table[slot])
+
+    def _permute(self, x: int, keys: Sequence[int]) -> int:
+        hb = self._half_bits
+        half_mask = (1 << hb) - 1
+        left, right = x >> hb, x & half_mask
+        for r in range(_ROUNDS):
+            f = _splitmix64((right + keys[r]) & _MASK64) >> (64 - hb)
+            left, right = right, left ^ f
+        return (left << hb) | right
 
     def neighbours(self, droplet_id: int) -> np.ndarray:
         """Source packet indices XORed into droplet ``droplet_id``.
 
-        Distinct, sorted-free, reproducible: an inverse-cdf draw for the
-        degree followed by a without-replacement pick of that many source
-        indices, all on the droplet's private stream.
+        Distinct and reproducible: the droplet's keyed Feistel
+        permutation is walked from ``x = 0`` upward, keeping the first
+        ``degree`` outputs that land inside ``[0, k)``.
         """
-        rng = self.droplet_rng(droplet_id)
-        slot = int(np.searchsorted(self._degree_cdf, rng.random(),
-                                   side="right"))
-        slot = min(slot, len(self.degree_dist.degrees) - 1)
-        degree = self.degree_dist.degrees[slot]
-        return rng.choice(self.k, size=degree, replace=False).astype(np.int64)
+        degree = self.degree(droplet_id)
+        keys = [self._word(droplet_id, 1 + r) for r in range(_ROUNDS)]
+        out = np.empty(degree, dtype=np.int64)
+        x = 0
+        got = 0
+        while got < degree:
+            y = self._permute(x, keys)
+            x += 1
+            if y < self.k:
+                out[got] = y
+                got += 1
+        return out
+
+    # -- batch derivation (the vectorized path) --------------------------------
+
+    def degrees_of(self, droplet_ids: np.ndarray) -> np.ndarray:
+        """Degrees of many droplets in one vectorized pass."""
+        ids = np.asarray(droplet_ids, dtype=np.int64)
+        if ids.size and int(ids.min()) < 0:
+            raise ParameterError("droplet id must be >= 0")
+        base = (np.uint64(self._key)
+                + ids.astype(np.uint64) * np.uint64(_ID_STRIDE))
+        u = (_splitmix64_np(base) >> np.uint64(11)) * 2.0 ** -53
+        slots = np.searchsorted(self._degree_cdf, u, side="right")
+        np.minimum(slots, self._degree_table.size - 1, out=slots)
+        return self._degree_table[slots]
+
+    def _permute_block(self, xs: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Feistel outputs for an ``(rows, C)`` grid of walk positions.
+
+        ``keys`` has shape ``(rows, _ROUNDS)``; row ``i`` of ``xs`` is
+        evaluated under droplet ``i``'s permutation.
+        """
+        hb = self._half_bits
+        half_mask = np.uint64((1 << hb) - 1)
+        shift = np.uint64(64 - hb)
+        left = xs >> np.uint64(hb)
+        right = xs & half_mask
+        for r in range(_ROUNDS):
+            f = _splitmix64_np(right + keys[:, r:r + 1]) >> shift
+            left, right = right, left ^ f
+        return ((left << np.uint64(hb)) | right).astype(np.int64)
+
+    def neighbour_block(self, droplet_ids: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Neighbour sets of many droplets as a ragged CSR pair.
+
+        Returns ``(flat, indptr)``: droplet ``i``'s neighbours are
+        ``flat[indptr[i]:indptr[i + 1]]``, in exactly the order the
+        scalar :meth:`neighbours` produces them.
+        """
+        ids = np.asarray(droplet_ids, dtype=np.int64)
+        degrees = self.degrees_of(ids).astype(np.int64)
+        indptr = np.zeros(ids.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        if not ids.size:
+            return flat, indptr
+        base = (np.uint64(self._key)
+                + ids.astype(np.uint64) * np.uint64(_ID_STRIDE))
+        keys = _splitmix64_np(base[:, None]
+                              + np.arange(1, _ROUNDS + 1, dtype=np.uint64))
+        need = degrees.copy()
+        fill = indptr[:-1].copy()
+        walk_pos = np.zeros(ids.size, dtype=np.int64)
+        active = np.nonzero(need > 0)[0]
+        # Walk positions per accepted output: the permutation domain has
+        # exactly k of its 2**(2*half_bits) values inside [0, k).
+        stride = (1 << (2 * self._half_bits)) / self.k
+        first_pass = True
+        while active.size:
+            # First pass sizes the chunk for the *typical* row (soliton
+            # degrees are mostly small); the rare high-degree stragglers
+            # re-enter with a chunk sized for their own worst need, so
+            # one spike row never inflates the whole grid.
+            scale = float(need[active].mean() if first_pass
+                          else need[active].max())
+            width = int(min(2048, 8 + np.ceil(2.0 * scale * stride)))
+            first_pass = False
+            xs = (walk_pos[active, None]
+                  + np.arange(width, dtype=np.int64)).astype(np.uint64)
+            ys = self._permute_block(xs, keys[active])
+            accept = ys < self.k
+            ranks = np.cumsum(accept, axis=1)
+            take = accept & (ranks <= need[active, None])
+            taken = take.sum(axis=1)
+            flat_take = take.ravel()
+            vals = ys.ravel()[flat_take]
+            row_starts = np.cumsum(taken) - taken
+            within = np.arange(vals.size) - np.repeat(row_starts, taken)
+            flat[np.repeat(fill[active], taken) + within] = vals
+            fill[active] += taken
+            need[active] -= taken
+            walk_pos[active] += width
+            active = active[need[active] > 0]
+        return flat, indptr
 
     def neighbour_lists(self, droplet_ids: Iterable[int]):
         """Neighbour arrays for many droplets (generator, in id order)."""
@@ -130,10 +284,27 @@ class LTEncoder:
         return np.bitwise_xor.reduce(self.source[neighbours], axis=0)
 
     def payload_block(self, droplet_ids: Sequence[int]) -> np.ndarray:
-        """Payloads for many droplets as a ``(len(ids), P)`` block."""
-        out = np.empty((len(droplet_ids), self.payload_size), dtype=np.uint8)
-        for row, droplet_id in enumerate(droplet_ids):
-            out[row] = self.droplet_payload(int(droplet_id))
+        """Payloads for many droplets as a ``(len(ids), P)`` block.
+
+        The vectorized backend derives every neighbour set in one batch
+        and XORs whole segments with one lane-packed
+        ``bitwise_xor.reduceat``; the reference backend XORs droplet by
+        droplet.  Outputs are byte-identical.
+        """
+        ids = np.asarray(droplet_ids, dtype=np.int64)
+        if not is_vectorized():
+            out = np.empty((ids.size, self.payload_size), dtype=np.uint8)
+            for row, droplet_id in enumerate(ids):
+                out[row] = self.droplet_payload(int(droplet_id))
+            return out
+        if ids.size == 0:
+            return np.empty((0, self.payload_size), dtype=np.uint8)
+        flat, indptr = self.spec.neighbour_block(ids)
+        gathered = self.source[flat]
+        packed = xor_view(gathered)
+        out = np.bitwise_xor.reduceat(packed, indptr[:-1], axis=0)
+        if packed is not gathered:
+            out = out.view(np.uint8)
         return out
 
     def droplets(self, start: int = 0) -> Iterator[np.ndarray]:

@@ -50,7 +50,16 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.codes.backend import is_vectorized
 from repro.errors import DecodeFailure, ParameterError
+from repro.utils.packed import xor_view
+
+
+def _group_sorted(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Segment starts and unique keys of an already-sorted key array."""
+    starts = np.concatenate(
+        ([0], np.nonzero(np.diff(keys))[0] + 1)).astype(np.int64)
+    return starts, keys[starts]
 
 
 class PeelingEngine:
@@ -85,13 +94,23 @@ class PeelingEngine:
                 f"source_count {source_count} outside (0, {num_nodes}]")
         self.payload_size = payload_size
         self.inactivation_limit = int(inactivation_limit)
+        # Execution strategy is fixed at construction so one engine never
+        # mixes scatter disciplines mid-decode.
+        self._vectorized = is_vectorized()
         self.known = np.zeros(self.num_nodes, dtype=bool)
         self._source_known = 0
         self._num_equations = 0
         self.unknown_count = np.zeros(0, dtype=np.int64)
         self.xor_ids = np.zeros(0, dtype=np.int64)
         self._inactivation_runs = 0
-        self._last_stall_signature: Optional[Tuple[int, int]] = None
+        # After a failed solve: (unknowns, num_equations, rank deficit).
+        self._stall_gate: Optional[Tuple[int, int, int]] = None
+        # Incremental elimination state (vectorized backend): the echelon
+        # basis survives across attempts while the known set is stable,
+        # so a retry folds in only the equations that arrived since.
+        self._known_generation = 0
+        self._ml_basis: Optional[dict] = None
+        self._ml_state: Optional[Tuple[int, int]] = None
         # Static incidence (node -> equations), built once by
         # load_static_equations; None until then.
         self._node_indptr: Optional[np.ndarray] = None
@@ -194,6 +213,87 @@ class PeelingEngine:
         self._dyn_eq_nodes[eq] = unknown
         return True
 
+    def add_equations(self, indptr: np.ndarray, participants: np.ndarray,
+                      rhs_block: Optional[np.ndarray] = None) -> np.ndarray:
+        """Feed a batch of dynamic equations in one vectorized pass.
+
+        Equation ``i`` is the XOR of ``participants[indptr[i]:indptr[i+1]]``
+        with right-hand side ``rhs_block[i]``.  Reaches the same decoder
+        fixpoint as feeding each equation through :meth:`add_equation`
+        (peeling is order-independent); the returned per-equation
+        ``contributed`` flags may attribute redundancy to different
+        equations than the sequential order would, which only affects
+        statistics, never recovered bytes.
+
+        Callers should invoke :meth:`maybe_inactivate` once afterwards.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        participants = np.asarray(participants, dtype=np.int64)
+        m = indptr.size - 1
+        contributed = np.zeros(m, dtype=bool)
+        if m <= 0:
+            return contributed
+        if not self._vectorized:
+            for i in range(m):
+                seg = participants[indptr[i]:indptr[i + 1]]
+                rhs = None if rhs_block is None else rhs_block[i]
+                contributed[i] = self.add_equation(seg, rhs)
+            return contributed
+        if participants.size and np.any(
+                (participants < 0) | (participants >= self.num_nodes)):
+            raise ParameterError("equation participant outside node range")
+        sizes = np.diff(indptr)
+        eq_of = np.repeat(np.arange(m), sizes)
+        known_edge = self.known[participants]
+        if self.values is not None:
+            if rhs_block is None:
+                raise ParameterError("payload engine requires equation rhs")
+            acc = np.asarray(rhs_block, dtype=np.uint8).copy()
+            if known_edge.any():
+                # Fold the known participants' payloads into each rhs row.
+                k_eqs = eq_of[known_edge]
+                pay = self.values[participants[known_edge]]
+                starts, ueq = _group_sorted(k_eqs)
+                folded = np.bitwise_xor.reduceat(
+                    xor_view(pay), starts, axis=0)
+                xor_view(acc)[ueq] ^= folded
+        else:
+            acc = None
+        unknown_edge = ~known_edge
+        deg = np.bincount(eq_of[unknown_edge], minlength=m)
+        # Degree >= 2 equations join the active system *before* the
+        # propagation wave, so the wave reduces them like any other.
+        keep = np.nonzero(deg >= 2)[0]
+        if keep.size:
+            while self._num_equations + keep.size > self.unknown_count.shape[0]:
+                self._grow_equations()
+            eq_ids = self._num_equations + np.arange(keep.size)
+            keep_edge = unknown_edge & (deg[eq_of] >= 2)
+            nodes_k = participants[keep_edge]
+            starts, _ = _group_sorted(eq_of[keep_edge])
+            self.unknown_count[eq_ids] = deg[keep]
+            self.xor_ids[eq_ids] = np.bitwise_xor.reduceat(nodes_k, starts)
+            if self._acc is not None:
+                self._acc[eq_ids] = acc[keep]
+            self._num_equations += keep.size
+            bounds = np.append(starts, nodes_k.size)
+            for j, eq in enumerate(eq_ids.tolist()):
+                seg = nodes_k[bounds[j]:bounds[j + 1]]
+                self._dyn_eq_nodes[eq] = seg
+                for node in seg.tolist():
+                    self._dyn_node_eqs.setdefault(node, []).append(eq)
+            contributed[keep] = True
+        ones = np.nonzero(deg == 1)[0]
+        if ones.size:
+            nodes1 = participants[unknown_edge & (deg[eq_of] == 1)]
+            uniq, first = np.unique(nodes1, return_index=True)
+            contributed[ones[first]] = True
+            if self.values is not None:
+                self.values[uniq] = acc[ones[first]]
+            self._mark_known(uniq)
+            self._propagate(uniq)
+        return contributed
+
     def _append_equation(self, unknown: np.ndarray,
                          acc: Optional[np.ndarray]) -> int:
         eq = self._num_equations
@@ -274,6 +374,9 @@ class PeelingEngine:
     def _mark_known(self, nodes: np.ndarray) -> None:
         self.known[nodes] = True
         self._source_known += int(np.count_nonzero(nodes < self.source_count))
+        # Any change to the known set reshapes the stalled system's
+        # columns; the incremental elimination basis is built per shape.
+        self._known_generation += 1
 
     def _gather_incidences(self, nodes: np.ndarray):
         """All (equation, node) incidences of ``nodes`` as flat arrays."""
@@ -311,11 +414,35 @@ class PeelingEngine:
                 if eqs is None:
                     frontier = np.zeros(0, dtype=np.int64)
                     break
-                np.subtract.at(self.unknown_count, eqs, 1)
-                np.bitwise_xor.at(self.xor_ids, eqs, nodes_rep)
-                if self._acc is not None:
-                    np.bitwise_xor.at(self._acc, eqs, self.values[nodes_rep])
-                touched = np.unique(eqs)
+                if self._vectorized and eqs.size > 24:
+                    # Sort the incidences by equation and apply each
+                    # equation's whole update as one segmented reduction —
+                    # same result as the element-wise scatter, but the
+                    # payload XOR runs once per *equation* instead of once
+                    # per edge, through a uint64 view when the width packs.
+                    # Tiny frontiers (the tail of a transfer, one packet at
+                    # a time) skip the sort machinery: the element-wise
+                    # scatter below computes the same XOR fixpoint.
+                    order = np.argsort(eqs, kind="stable")
+                    eqs_s = eqs[order]
+                    nodes_s = nodes_rep[order]
+                    starts, touched = _group_sorted(eqs_s)
+                    counts = np.diff(np.append(starts, eqs_s.size))
+                    self.unknown_count[touched] -= counts
+                    self.xor_ids[touched] ^= np.bitwise_xor.reduceat(
+                        nodes_s, starts)
+                    if self._acc is not None:
+                        pay = self.values[nodes_s]
+                        folded = np.bitwise_xor.reduceat(
+                            xor_view(pay), starts, axis=0)
+                        xor_view(self._acc)[touched] ^= folded
+                else:
+                    np.subtract.at(self.unknown_count, eqs, 1)
+                    np.bitwise_xor.at(self.xor_ids, eqs, nodes_rep)
+                    if self._acc is not None:
+                        np.bitwise_xor.at(self._acc, eqs,
+                                          self.values[nodes_rep])
+                    touched = np.unique(eqs)
                 ready = touched[self.unknown_count[touched] == 1]
                 candidates = self.xor_ids[ready]
                 new_mask = ~self.known[candidates]
@@ -376,23 +503,64 @@ class PeelingEngine:
             return self._eq_nodes[lo:hi]
         return self._dyn_eq_nodes[eq]
 
-    def maybe_inactivate(self) -> None:
-        """Run the GF(2) fallback when enabled, useful and not yet tried.
+    def _row_incidences(self, rows: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat ``(participants, matrix-row)`` pairs for equations ``rows``.
 
-        Gated so that repeated feeding stays cheap: the solver runs only
-        when the residual unknown count is within the limit and the
-        system has changed (fewer unknowns, or new equations) since the
-        last failed attempt.
+        Static equations gather through the eq -> nodes CSR in one
+        flattened multi-slice; dynamic equations append their stored
+        neighbour arrays.  ``matrix-row`` is the *position* of the
+        equation inside ``rows``, i.e. its row in the elimination matrix.
+        """
+        parts_list: List[np.ndarray] = []
+        row_list: List[np.ndarray] = []
+        static_mask = rows < self._static_eq_count
+        static_rows = rows[static_mask]
+        if static_rows.size:
+            starts = self._eq_indptr[static_rows]
+            counts = self._eq_indptr[static_rows + 1] - starts
+            total = int(counts.sum())
+            if total:
+                cum = np.cumsum(counts) - counts
+                flat = np.repeat(starts - cum, counts) + np.arange(total)
+                parts_list.append(self._eq_nodes[flat])
+                row_list.append(np.repeat(
+                    np.nonzero(static_mask)[0], counts))
+        for i in np.nonzero(~static_mask)[0].tolist():
+            seg = self._dyn_eq_nodes[int(rows[i])]
+            parts_list.append(seg)
+            row_list.append(np.full(seg.size, i, dtype=np.int64))
+        if not parts_list:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        return np.concatenate(parts_list), np.concatenate(row_list)
+
+    def maybe_inactivate(self) -> None:
+        """Run the GF(2) fallback when enabled, useful and able to succeed.
+
+        Gated so that repeated feeding stays cheap: a failed solve
+        records the system's rank deficit, and the solver is skipped —
+        provably without delaying completion — until enough new
+        equations have arrived to possibly close it (or peeling shrinks
+        the unknown set, which resets the bound).
         """
         if self.inactivation_limit <= 0 or self.is_complete:
             return
         unknowns = int(self._elimination_nodes().size)
         if unknowns > self.inactivation_limit:
             return
-        signature = (unknowns, self._num_equations)
-        if signature == self._last_stall_signature:
-            return
-        self._last_stall_signature = signature
+        gate = self._stall_gate
+        if gate is not None:
+            stalled_unknowns, stalled_eqs, deficit = gate
+            # The failed attempt established the system's rank deficit.
+            # Each new equation raises the rank by at most one, and each
+            # node peeling resolves removes one column while lowering the
+            # rank by at most one — either way the deficit shrinks by at
+            # most one per event.  Until enough events have accumulated
+            # the system is provably still singular.
+            progress = ((self._num_equations - stalled_eqs)
+                        + (stalled_unknowns - unknowns))
+            if progress < deficit:
+                return
         self._run_inactivation()
 
     def _run_inactivation(self) -> bool:
@@ -412,24 +580,62 @@ class PeelingEngine:
         col_of[unknown_nodes] = np.arange(u)
         rows = np.nonzero(self.unknown_count[:self._num_equations] >= 1)[0]
         if rows.size < u:
+            # Rank is at most rows.size; at least u - rows.size more
+            # equations must arrive before a solve can succeed.
+            self._stall_gate = (u, self._num_equations, u - rows.size)
             return False
         # Bit-packed coefficient matrix: one uint64 word per 64 columns.
         words = (u + 63) // 64
-        mat = np.zeros((rows.size, words), dtype=np.uint64)
-        for i, eq in enumerate(rows):
-            participants = self._equation_participants(int(eq))
-            cols = col_of[participants[~self.known[participants]]]
-            # bitwise_or.at because several columns can share a word
-            np.bitwise_or.at(mat[i], cols >> 6,
-                             np.uint64(1) << (cols & 63).astype(np.uint64))
-        rhs = self._acc[rows].copy() if self._acc is not None else None
         self._inactivation_runs += 1
-        solved = gf2_gauss_jordan(mat, u, rhs)
-        if solved is None:
-            return False
-        self._last_stall_signature = None
-        if self.values is not None:
-            self.values[unknown_nodes] = rhs[solved]
+        if self._vectorized:
+            # Incremental attempt: while the known set is unchanged the
+            # column mapping is stable and equations only append, so the
+            # echelon basis from the last failed attempt stays valid and
+            # only the new rows need folding in.
+            state = self._ml_state
+            if (state is not None and state[0] == self._known_generation
+                    and state[1] <= rows.size):
+                done = state[1]
+            else:
+                self._ml_basis = {}
+                done = 0
+            new_rows = rows[done:]
+            if new_rows.size:
+                mat = np.zeros((new_rows.size, words), dtype=np.uint64)
+                parts, row_rep = self._row_incidences(new_rows)
+                alive = ~self.known[parts]
+                cols = col_of[parts[alive]]
+                np.bitwise_or.at(mat, (row_rep[alive], cols >> 6),
+                                 np.uint64(1) << (cols & 63).astype(np.uint64))
+                _gf2_fold_rows(self._ml_basis, mat, done)
+            self._ml_state = (self._known_generation, rows.size)
+            rank = len(self._ml_basis)
+            if rank < u:
+                self._stall_gate = (u, self._num_equations, u - rank)
+                return False
+            if self._acc is not None:
+                rhs = self._acc[rows].copy()
+                combo = _gf2_backsub_combos(self._ml_basis, u, rows.size)
+                _apply_row_combos(combo, rhs)
+                self.values[unknown_nodes] = rhs[:u]
+            self._ml_basis = None
+            self._ml_state = None
+        else:
+            mat = np.zeros((rows.size, words), dtype=np.uint64)
+            for i, eq in enumerate(rows):
+                participants = self._equation_participants(int(eq))
+                cols = col_of[participants[~self.known[participants]]]
+                # bitwise_or.at because several columns can share a word
+                np.bitwise_or.at(mat[i], cols >> 6,
+                                 np.uint64(1) << (cols & 63).astype(np.uint64))
+            rhs = self._acc[rows].copy() if self._acc is not None else None
+            solved, rank = _gf2_eliminate(mat, u, rhs)
+            if solved is None:
+                self._stall_gate = (u, self._num_equations, u - rank)
+                return False
+            if self.values is not None:
+                self.values[unknown_nodes] = rhs[solved]
+        self._stall_gate = None
         self._mark_known(unknown_nodes)
         # Let peeling mop up anything downstream (e.g. unknown checks of
         # now-complete layers) so counters stay consistent.
@@ -443,31 +649,158 @@ def gf2_gauss_jordan(mat: np.ndarray, num_cols: int,
 
     Returns the row index holding each column's pivot (so ``rhs[result]``
     lists the solved values column by column), or ``None`` when the
-    matrix does not have full column rank.  ``rhs`` rows are XORed along
-    with the coefficient rows when provided.
+    matrix does not have full column rank.  ``rhs`` pivot rows hold the
+    solved values on success; under the reference backend every ``rhs``
+    row is XORed along with its coefficient row (the original discipline),
+    while the vectorized backend eliminates *structurally first* —
+    tracking each row as a bit-combination of original rows — and touches
+    the wide ``rhs`` payloads only once, after rank is established.  A
+    failed attempt therefore costs no payload traffic at all.
     """
+    solved, _ = _gf2_eliminate(mat, num_cols, rhs)
+    return solved
+
+
+def _gf2_eliminate(mat: np.ndarray, num_cols: int,
+                   rhs: Optional[np.ndarray]
+                   ) -> Tuple[Optional[np.ndarray], int]:
+    """:func:`gf2_gauss_jordan` plus the achieved rank.
+
+    Under the reference backend elimination continues past pivotless
+    columns so that the reported rank is the matrix's true row rank,
+    which the stall gate of :meth:`PeelingEngine.maybe_inactivate` turns
+    into a lower bound on how many more equations a retry needs.  The
+    vectorized backend reaches the same results through
+    :func:`_gf2_eliminate_int`.
+    """
+    if is_vectorized():
+        return _gf2_eliminate_int(mat, num_cols, rhs)
     num_rows = mat.shape[0]
+    inline = rhs is not None
     pivot_row_of_col = np.full(num_cols, -1, dtype=np.int64)
     row = 0
     for col in range(num_cols):
+        if row >= num_rows:
+            break
         word, bit = col >> 6, np.uint64(col & 63)
         column_bits = (mat[row:, word] >> bit) & np.uint64(1)
         hits = np.nonzero(column_bits)[0]
         if hits.size == 0:
-            return None
+            continue
         pivot = row + int(hits[0])
         if pivot != row:
             mat[[row, pivot]] = mat[[pivot, row]]
-            if rhs is not None:
+            if inline:
                 rhs[[row, pivot]] = rhs[[pivot, row]]
         mask = ((mat[:, word] >> bit) & np.uint64(1)).astype(bool)
         mask[row] = False
         if np.any(mask):
             mat[mask] ^= mat[row]
-            if rhs is not None:
+            if inline:
                 rhs[mask] ^= rhs[row]
         pivot_row_of_col[col] = row
         row += 1
-        if row > num_rows:
-            return None
-    return pivot_row_of_col
+    if row < num_cols:
+        return None, row
+    return pivot_row_of_col, row
+
+
+def _gf2_eliminate_int(mat: np.ndarray, num_cols: int,
+                       rhs: Optional[np.ndarray]
+                       ) -> Tuple[Optional[np.ndarray], int]:
+    """Arbitrary-precision-int twin of :func:`_gf2_eliminate`.
+
+    Rows become python ints and fold into an echelon basis keyed by top
+    bit — far cheaper than per-column numpy passes at the couple-hundred
+    column scale inactivation runs at.  Each basis row carries a second
+    int recording which original rows it combines, so a successful solve
+    back-substitutes into one combination per column and touches the
+    wide ``rhs`` payloads exactly once, in :func:`_apply_row_combos`; a
+    failed attempt costs no payload traffic at all.
+    """
+    basis: dict = {}
+    _gf2_fold_rows(basis, mat, 0)
+    rank = len(basis)
+    if rank < num_cols:
+        return None, rank
+    if rhs is not None:
+        combo = _gf2_backsub_combos(basis, num_cols, mat.shape[0])
+        _apply_row_combos(combo, rhs)
+    return np.arange(num_cols, dtype=np.int64), rank
+
+
+def _gf2_fold_rows(basis: dict, mat: np.ndarray, start_index: int) -> None:
+    """Fold packed rows into an echelon ``basis`` keyed by top bit.
+
+    Each basis entry is ``(reduced row, combo)`` where the combo int
+    records which original rows (bit = row index, offset by
+    ``start_index`` for incremental feeding) XOR to the reduced row.
+    """
+    for i in range(mat.shape[0]):
+        r = int.from_bytes(mat[i].tobytes(), "little")
+        c = 1 << (start_index + i)
+        while r:
+            top = r.bit_length() - 1
+            entry = basis.get(top)
+            if entry is None:
+                basis[top] = (r, c)
+                break
+            r ^= entry[0]
+            c ^= entry[1]
+
+
+def _gf2_backsub_combos(basis: dict, num_cols: int,
+                        num_rows: int) -> np.ndarray:
+    """Per-column row combinations of a full-column-rank echelon basis.
+
+    Walks the pivots from the lowest bit up, substituting already-solved
+    columns, so row ``t`` of the returned bit-packed matrix names
+    exactly the original rows whose XOR yields column ``t``.
+    """
+    combos = [0] * num_cols
+    for top in sorted(basis):
+        r, c = basis[top]
+        r ^= 1 << top
+        while r:
+            low = r & -r
+            c ^= combos[low.bit_length() - 1]
+            r ^= low
+        combos[top] = c
+    combo_words = (num_rows + 63) // 64
+    width = combo_words * 8
+    packed = b"".join(ci.to_bytes(width, "little") for ci in combos)
+    return np.frombuffer(packed, dtype=np.uint64).reshape(
+        num_cols, combo_words)
+
+
+def _apply_row_combos(combo: np.ndarray, rhs: np.ndarray) -> None:
+    """Overwrite ``rhs[r]`` with the XOR of the original ``rhs`` rows whose
+    bits are set in ``combo[r]``, for every row of ``combo``.
+
+    Output rows are computed into a scratch block before any write, so
+    rows may freely appear in each other's combinations.  The work is
+    chunked so the gathered source rows stay cache-sized even when the
+    eliminated system is dense (each combo row can reference about half
+    of the original rows).
+    """
+    u, width = combo.shape[0], rhs.shape[1]
+    out = np.empty((u, width), dtype=np.uint8)
+    est_sources = max(1, (combo.shape[1] << 6) // 2)
+    chunk = max(1, (4 << 20) // max(1, est_sources * width))
+    lane = np.arange(64, dtype=np.uint64)
+    for lo in range(0, u, chunk):
+        block = combo[lo:lo + chunk]
+        r_idx, w_idx = np.nonzero(block)
+        bits = ((block[r_idx, w_idx][:, None] >> lane)
+                & np.uint64(1)).astype(bool)
+        hit, bitpos = np.nonzero(bits)
+        source = (w_idx[hit] << 6) + bitpos
+        out_row = r_idx[hit]
+        gathered = rhs[source]
+        starts = np.concatenate(
+            ([0], np.nonzero(np.diff(out_row))[0] + 1))
+        folded = np.bitwise_xor.reduceat(xor_view(gathered), starts, axis=0)
+        if folded.dtype == np.uint64:
+            folded = folded.view(np.uint8)
+        out[lo + out_row[starts]] = folded
+    rhs[:u] = out

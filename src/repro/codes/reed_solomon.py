@@ -27,7 +27,8 @@ from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
-from repro.codes.base import ErasureCode, as_packet_block
+from repro.codes.backend import is_vectorized
+from repro.codes.base import BlockEncoder, ErasureCode, as_packet_block
 from repro.errors import DecodeFailure, ParameterError
 from repro.gf import (
     GF256,
@@ -35,10 +36,68 @@ from repro.gf import (
     cauchy_matrix,
     gf_matvec_packets,
     gf_solve,
+    gf256_matvec_cached,
+    gf256_packet_tables,
     systematize,
     vandermonde_matrix,
 )
 from repro.gf.field import BinaryExtensionField
+
+
+class _RSBlockEncoder(BlockEncoder):
+    """Row-lazy systematic RS encoding.
+
+    Source rows are served straight from the source block; redundancy
+    rows are products of single redundancy-matrix rows with the source,
+    computed in batches on first request and cached.  Over GF(2^8) under
+    the vectorized backend the source's nibble product tables are built
+    once and reused across batches, so scattered row requests cost the
+    same per row as one monolithic encode.
+    """
+
+    def __init__(self, code: "ReedSolomonCode", source: np.ndarray):
+        source = as_packet_block(source, code.k, dtype=code.field.dtype)
+        super().__init__(code, source)
+        ell = code.n - code.k
+        self._redundant = np.zeros((ell, source.shape[1]),
+                                   dtype=code.field.dtype)
+        self._have = np.zeros(ell, dtype=bool)
+        self._tables = None
+
+    def _ensure_redundant(self, rows: np.ndarray) -> None:
+        """Compute-and-cache the redundancy rows (0-based) not yet held."""
+        missing = np.unique(rows[~self._have[rows]])
+        if missing.size == 0:
+            return
+        code = self._code
+        sub = code._redundancy_matrix[missing]
+        if is_vectorized() and code.field.dtype.itemsize == 1 \
+                and getattr(code.field, "_mul_table", None) is not None:
+            if self._tables is None:
+                self._tables = gf256_packet_tables(self._source)
+            self._redundant[missing] = gf256_matvec_cached(sub, self._tables)
+        else:
+            self._redundant[missing] = gf_matvec_packets(
+                sub, self._source, code.field)
+        self._have[missing] = True
+
+    def __getitem__(self, index):
+        k = self._code.k
+        if np.isscalar(index) or getattr(index, "ndim", 1) == 0:
+            i = int(index)
+            if i < k:
+                return self._source[i]
+            self._ensure_redundant(np.array([i - k]))
+            return self._redundant[i - k]
+        index = np.asarray(index, dtype=np.int64)
+        red = index >= k
+        if red.any():
+            self._ensure_redundant(index[red] - k)
+        out = np.empty((index.shape[0], self._source.shape[1]),
+                       dtype=self._code.field.dtype)
+        out[~red] = self._source[index[~red]]
+        out[red] = self._redundant[index[red] - k]
+        return out
 
 
 def default_field_for(n: int) -> BinaryExtensionField:
@@ -96,6 +155,10 @@ class ReedSolomonCode(ErasureCode):
         redundant = gf_matvec_packets(
             self._redundancy_matrix, source, self.field)
         return np.concatenate([source, redundant], axis=0)
+
+    def block_encoder(self, source: np.ndarray) -> _RSBlockEncoder:
+        """Row-lazy encoder: redundancy rows computed on first request."""
+        return _RSBlockEncoder(self, source)
 
     # -- decoding ------------------------------------------------------------
 

@@ -14,11 +14,13 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.codes.base import ErasureCode, as_packet_block
+from repro.codes.backend import is_vectorized
+from repro.codes.base import BlockEncoder, ErasureCode, as_packet_block
 from repro.codes.tornado.decoder import PeelingDecoder
 from repro.codes.tornado.degree import DegreeDistribution, heavy_tail_distribution
 from repro.codes.tornado.graph import CascadeStructure, build_cascade
 from repro.errors import DecodeFailure, ParameterError
+from repro.utils.packed import xor_view
 from repro.utils.rng import RngLike, spawn_rng
 
 #: rng stream label for graph construction (kept distinct from any
@@ -82,8 +84,9 @@ class TornadoCode(ErasureCode):
 
     # -- encoding ------------------------------------------------------------
 
-    def encode(self, source: np.ndarray) -> np.ndarray:
-        """Compute all ``n`` encoding packets for a ``(k, P)`` source block."""
+    def _cascade_values(self, source: np.ndarray) -> np.ndarray:
+        """Walk the cascade forward; returns ``(n, P)`` values with every
+        graph layer filled and the cap rows still zero."""
         source = as_packet_block(source, self.k, dtype=np.uint8)
         payload = source.shape[1]
         st = self.structure
@@ -96,10 +99,21 @@ class TornadoCode(ErasureCode):
             left = values[st.layer_offsets[gi]:
                           st.layer_offsets[gi] + st.layer_sizes[gi]]
             gathered = left[graph.edge_left]
+            # One segmented XOR per right node; eight bytes per lane when
+            # the payload width packs into uint64 words.
+            packed = xor_view(gathered) if is_vectorized() else gathered
             rights = np.bitwise_xor.reduceat(
-                gathered, graph.right_indptr[:-1], axis=0)
+                packed, graph.right_indptr[:-1], axis=0)
+            if rights.dtype == np.uint64:
+                rights = rights.view(np.uint8)
             off = st.layer_offsets[gi + 1]
             values[off:off + graph.right_size] = rights
+        return values
+
+    def encode(self, source: np.ndarray) -> np.ndarray:
+        """Compute all ``n`` encoding packets for a ``(k, P)`` source block."""
+        st = self.structure
+        values = self._cascade_values(source)
         # Cap: systematic RS over the last graph layer.
         last = values[st.last_layer_offset:
                       st.last_layer_offset + st.last_layer_size]
@@ -108,6 +122,10 @@ class TornadoCode(ErasureCode):
         redundant = encoded[st.last_layer_size:].view(np.uint8)
         values[st.cap_offset:st.cap_offset + st.cap_size] = redundant
         return values
+
+    def block_encoder(self, source: np.ndarray) -> "_TornadoBlockEncoder":
+        """Lazy encoder: cascade up front (cheap XORs), cap rows on demand."""
+        return _TornadoBlockEncoder(self, source)
 
     # -- decoding ------------------------------------------------------------
 
@@ -185,3 +203,49 @@ class TornadoCode(ErasureCode):
         return (f"TornadoCode(name={self.name!r}, k={self.k}, n={self.n}, "
                 f"layers={self.structure.layer_sizes}, "
                 f"cap={self.structure.cap_size})")
+
+
+class _TornadoBlockEncoder(BlockEncoder):
+    """Lazy Tornado encoding: eager cascade, on-demand cap rows.
+
+    The graph layers cost one XOR per edge — linear work that is also
+    the input to every cap row, so they are computed up front.  The cap
+    is the expensive part (a dense RS product over the last layer); its
+    rows are delegated to the cap code's own row-lazy encoder, so a
+    carousel that stops after a partial cycle never pays for the cap
+    rows it did not emit.
+    """
+
+    def __init__(self, code: TornadoCode, source: np.ndarray):
+        values = code._cascade_values(source)
+        super().__init__(code, values[:code.k])
+        self._values = values
+        st = code.structure
+        last = values[st.last_layer_offset:
+                      st.last_layer_offset + st.last_layer_size]
+        self._cap = st.cap_code.block_encoder(
+            last.view(st.cap_code.field.dtype))
+        self._cap_have = np.zeros(st.cap_size, dtype=bool)
+
+    def _fill_cap(self, rows: np.ndarray) -> None:
+        """Materialise the cap rows (0-based within the cap) not yet held."""
+        missing = np.unique(rows[~self._cap_have[rows]])
+        if missing.size == 0:
+            return
+        st = self._code.structure
+        cap_rows = self._cap[st.last_layer_size + missing]
+        self._values[st.cap_offset + missing] = cap_rows.view(np.uint8)
+        self._cap_have[missing] = True
+
+    def __getitem__(self, index):
+        cap_offset = self._code.structure.cap_offset
+        if np.isscalar(index) or getattr(index, "ndim", 1) == 0:
+            i = int(index)
+            if i >= cap_offset:
+                self._fill_cap(np.array([i - cap_offset]))
+            return self._values[i]
+        index = np.asarray(index, dtype=np.int64)
+        cap = index[index >= cap_offset] - cap_offset
+        if cap.size:
+            self._fill_cap(cap)
+        return self._values[index]

@@ -14,7 +14,7 @@ asked.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,9 +36,12 @@ class CarouselServer(SequencedPacketSource):
     code:
         The erasure code; its ``n`` defines the carousel cycle length.
     encoding:
-        Optional precomputed ``(n, P)`` encoding block.  When omitted the
-        server is *index-only* — useful for structural simulations that
-        never touch payload bytes.
+        Optional ``(n, P)`` encoding block — a numpy array or any
+        row-indexable object with a matching ``shape`` (e.g. a lazy
+        :class:`~repro.codes.base.BlockEncoder`, which computes rows the
+        first time the carousel reaches them).  When omitted the server
+        is *index-only* — useful for structural simulations that never
+        touch payload bytes.
     order:
         Explicit transmission order for one cycle (e.g. an interleaved
         code's schedule).  Defaults to a seed-derived random permutation.
@@ -59,7 +62,7 @@ class CarouselServer(SequencedPacketSource):
     """
 
     def __init__(self, code: ErasureCode,
-                 encoding: Optional[np.ndarray] = None,
+                 encoding=None,
                  order: Optional[Sequence[int]] = None,
                  seed: RngLike = 0,
                  group: int = 0,
@@ -103,6 +106,24 @@ class CarouselServer(SequencedPacketSource):
                 "index-only carousel cannot emit payload packets; "
                 "construct with an encoding block")
         return super().packets(count)
+
+    def payload_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Indices and payloads of the next ``count`` carousel slots.
+
+        The batched twin of ``count`` :meth:`_next_packet` calls minus
+        the header stamping: slot ``t`` carries ``order[t % n]``, and the
+        cursor advances by ``count``.  Used by the vectorized transfer
+        simulation, which tracks delivery per (block, index) and never
+        materialises packet objects.
+        """
+        if self.encoding is None:
+            raise ParameterError(
+                "index-only carousel cannot emit payload packets; "
+                "construct with an encoding block")
+        t = self._pos + np.arange(count, dtype=np.int64)
+        indices = self.order[t % self.cycle_length]
+        self._pos += int(count)
+        return indices, self.encoding[indices]
 
     def _next_packet(self) -> EncodingPacket:
         index = int(self.order[self._pos % self.cycle_length])

@@ -114,6 +114,58 @@ class FountainClient:
                 self._next_attempt = len(self._seen) + self.retry_step
         return self._complete
 
+    def receive_many(self, indices: np.ndarray,
+                     payloads: Optional[np.ndarray] = None) -> bool:
+        """Batch :meth:`receive_index` with identical accounting.
+
+        Matches the sequential semantics exactly: packets arriving after
+        completion are neither counted nor decoded, and the reception
+        counters at the moment of completion equal what one-at-a-time
+        feeding would have produced.  The guarantee rests on a lower
+        bound — no code can complete with fewer than ``k`` distinct
+        packets — so batches are capped at one less than the distinct
+        packets still needed and the final approach runs per packet.
+
+        Statistical mode keeps the per-packet loop (its decode-attempt
+        schedule is defined per arrival and the work per packet is a set
+        insert, so batching buys nothing).
+        """
+        if self._complete:
+            return True
+        if self.mode is not ClientMode.INCREMENTAL:
+            for row, index in enumerate(indices):
+                self.receive_index(
+                    int(index), None if payloads is None else payloads[row])
+            return self._complete
+        indices = np.asarray(indices, dtype=np.int64)
+        pos = 0
+        while pos < indices.size and not self._complete:
+            needed = self.code.k - len(self._seen)
+            if needed <= 1:
+                self.receive_index(
+                    int(indices[pos]),
+                    None if payloads is None else payloads[pos])
+                pos += 1
+                continue
+            take = min(needed - 1, indices.size - pos)
+            chunk = indices[pos:pos + take]
+            self.total_received += take
+            rows = []
+            for row, index in enumerate(chunk.tolist()):
+                if index not in self._seen:
+                    self._seen[index] = (
+                        None if payloads is None else payloads[pos + row])
+                    rows.append(row)
+            if rows:
+                fresh = chunk[rows]
+                fresh_payloads = (None if payloads is None
+                                  else payloads[pos:pos + take][rows])
+                self._decoder.add_packets(fresh, fresh_payloads)
+                if self._decoder.is_complete:
+                    self._complete = True
+            pos += take
+        return self._complete
+
     # -- results ---------------------------------------------------------------
 
     @property

@@ -37,7 +37,7 @@ id_range)``:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -158,6 +158,32 @@ class RatelessServer(SequencedPacketSource):
                 "index-only rateless server cannot emit payload packets; "
                 "construct with a source block")
         return super().packets(count)
+
+    def payload_batch(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Droplet ids and payloads of the next ``count`` emissions.
+
+        The batched twin of ``count`` :meth:`_next_packet` calls minus
+        the header stamping, with the same exhaustion semantics: a
+        non-wrapping server raises :class:`~repro.errors.ProtocolError`
+        as soon as the batch would run past its id range.  Payloads
+        derive in one :meth:`~repro.codes.lt.encoder.LTEncoder.payload_block`
+        pass.
+        """
+        if self.encoder is None:
+            raise ParameterError(
+                "index-only rateless server cannot emit payload packets; "
+                "construct with a source block")
+        if not self.wrap and self._emitted + count > self.id_range:
+            raise ProtocolError(
+                f"droplet id range exhausted: server emitted all "
+                f"{self.id_range} ids in [{self.start}, "
+                f"{self.start + self.id_range}); give mirrors disjoint "
+                f"ranges with more headroom, or pass wrap=True to "
+                f"cycle (receivers will then see duplicate droplets)")
+        ids = self.start + (self._emitted
+                            + np.arange(count, dtype=np.int64)) % self.id_range
+        self._emitted += int(count)
+        return ids, self.encoder.payload_block(ids)
 
     def _next_packet(self) -> EncodingPacket:
         droplet_id = self.next_droplet_id

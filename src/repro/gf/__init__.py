@@ -23,6 +23,8 @@ from repro.gf.matrix import (
     gf_matvec_packets,
     gf_invert,
     gf_solve,
+    gf256_matvec_cached,
+    gf256_packet_tables,
     vandermonde_matrix,
     cauchy_matrix,
     systematize,
@@ -37,6 +39,8 @@ __all__ = [
     "gf_matvec_packets",
     "gf_invert",
     "gf_solve",
+    "gf256_matvec_cached",
+    "gf256_packet_tables",
     "vandermonde_matrix",
     "cauchy_matrix",
     "systematize",

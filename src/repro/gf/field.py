@@ -57,6 +57,19 @@ class BinaryExtensionField:
         exp[order - 1:2 * (order - 1)] = exp[:order - 1]
         self._exp = exp
         self._log = log
+        # Zero-propagating variants for the vectorized kernels:
+        # ``log_z[0]`` is a sentinel large enough that any sum involving
+        # it lands in the zeroed tail of ``exp_z`` — a product with zero
+        # comes out zero with no masking pass.  The tail extends to
+        # ``4 * order`` so even zero-times-zero (two sentinels) stays in
+        # range.  ``exp_z`` is stored at the field's own width so gathers
+        # yield result-ready arrays.
+        log_z = log.astype(np.int64)
+        log_z[0] = 2 * order
+        exp_z = np.zeros(4 * order + 1, dtype=self.dtype)
+        exp_z[:2 * (order - 1)] = exp[:2 * (order - 1)].astype(self.dtype)
+        self._log_z = log_z
+        self._exp_z = exp_z
 
     # -- scalar operations -------------------------------------------------
 
@@ -135,6 +148,18 @@ class BinaryExtensionField:
         prod = self._exp[self._log[scalar] + self._log[vec.astype(np.int64)]]
         prod[vec == 0] = 0
         np.bitwise_xor(acc, prod.astype(self.dtype), out=acc)
+
+    def div_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise quotient ``a / b``; any zero in ``b`` is rejected."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if np.any(b == 0):
+            raise FieldError("division by zero in GF(2^m)")
+        out = self._exp[self._log[a.astype(np.int64)]
+                        - self._log[b.astype(np.int64)]
+                        + (self.order - 1)]
+        out[a == 0] = 0
+        return out.astype(self.dtype)
 
     def inv_vec(self, a: np.ndarray) -> np.ndarray:
         """Elementwise multiplicative inverse; zeros are rejected."""

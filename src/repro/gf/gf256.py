@@ -48,6 +48,14 @@ class _GF256(BinaryExtensionField):
     def mul_vec(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.uint8)
         b = np.asarray(b, dtype=np.uint8)
+        if a.ndim == 2 and a.shape[1] == 1 and b.ndim == 2 \
+                and b.shape[0] == 1:
+            # Outer product (r, 1) x (1, w) — the elimination/matvec
+            # rank-1 update shape.  Two cheap takes instead of one
+            # broadcast fancy-index, which would materialise both index
+            # operands at full (r, w) intp size.
+            rows = self._mul_table[a[:, 0].astype(np.intp)]
+            return np.take(rows, b[0].astype(np.intp), axis=1)
         return self._mul_table[a, b]
 
 

@@ -20,10 +20,12 @@ of block ``b`` wait a whole revolution for ``b`` to come around again.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.codes.backend import is_vectorized
 from repro.errors import ParameterError
 from repro.net.channel import LossyChannel
 from repro.net.loss import BernoulliLoss, LossModel
@@ -41,6 +43,9 @@ _LOSS_STREAM = 0x1055
 
 #: structural-mode chunk size for vectorised loss draws.
 _CHUNK = 4096
+
+#: payloads generated ahead per block in the batched driver's tail.
+_TAIL_PREFETCH = 32
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,71 @@ def _as_loss_model(loss: Union[float, LossModel]) -> LossModel:
     return BernoulliLoss(float(loss))
 
 
+def _drive_payload_batched(plan: BlockPlan,
+                           codec: ObjectCodec,
+                           server: TransferServer,
+                           client: TransferClient,
+                           channel: LossyChannel,
+                           schedule: str,
+                           limit: int) -> int:
+    """Run the payload pipeline in deficit-bounded chunks.
+
+    Result-identical to feeding ``server.packets(limit)`` through the
+    channel one packet at a time: the loss model draws one delivery per
+    emission in emission order, every emitted slot advances its block
+    source (dropped or not), and chunks are capped at one less than the
+    distinct packets the transfer still needs — no block can complete
+    mid-chunk, so reception counters at completion match the sequential
+    run exactly (the final approach runs per packet).
+    """
+    slots = make_schedule(schedule, plan.block_ks)
+    block_ks = plan.block_ks
+    sources = server.block_sources
+    sent = 0
+    # Per-block payload buffers for the one-packet-at-a-time tail (the
+    # deficit never grows, so once the loop drops to per-packet steps it
+    # stays there and buffered look-ahead cannot leak into a chunk).
+    # Payload generation is deterministic and consumes no rng, so
+    # generating ahead of emission is exact; a rateless source's
+    # look-ahead is capped at its remaining id range so exhaustion
+    # raises on the same emission as sequential feeding would.
+    tail_bufs: Dict[int, List] = {}
+    while not client.is_complete and sent < limit:
+        deficit = sum(max(1, block_ks[b] - client.block_distinct(b))
+                      for b in client.incomplete_blocks)
+        chunk = min(deficit - 1, limit - sent, _CHUNK)
+        if chunk <= 0:
+            block = next(slots)
+            delivered = bool(channel.delivery_mask(1)[0])
+            buf = tail_bufs.get(block)
+            if buf is None or buf[2] >= len(buf[0]):
+                source = sources[block]
+                want = _TAIL_PREFETCH
+                remaining = getattr(source, "ids_remaining", None)
+                if remaining is not None:
+                    want = max(1, min(want, remaining))
+                tail_bufs[block] = buf = [*source.payload_batch(want), 0]
+            pos = buf[2]
+            buf[2] = pos + 1
+            sent += 1
+            if delivered:
+                client.receive_index(block, int(buf[0][pos]), buf[1][pos])
+            continue
+        blocks = np.fromiter(islice(slots, chunk), dtype=np.int64,
+                             count=chunk)
+        mask = channel.delivery_mask(chunk)
+        sent += chunk
+        for b in np.unique(blocks):
+            sel = blocks == b
+            # Every emitted slot advances the block's stream position,
+            # delivered or not; only survivors reach the client.
+            ids, pays = sources[int(b)].payload_batch(int(sel.sum()))
+            delivered = mask[sel]
+            if delivered.any():
+                client.receive_many(int(b), ids[delivered], pays[delivered])
+    return sent
+
+
 def simulate_transfer(file_size: int,
                       packet_size: int = 1024,
                       block_packets: int = 256,
@@ -104,15 +174,19 @@ def simulate_transfer(file_size: int,
                                  dtype=np.uint8).tobytes()
         server = TransferServer(codec, data, schedule=schedule, seed=seed)
         client = TransferClient(codec)
-        for packet in channel.transmit(server.packets(limit)):
-            if client.receive(packet):
-                break
+        if is_vectorized():
+            sent = _drive_payload_batched(plan, codec, server, client,
+                                          channel, schedule, limit)
+        else:
+            for packet in channel.transmit(server.packets(limit)):
+                if client.receive(packet):
+                    break
+            sent = channel.sent
         if not client.is_complete:
             raise ParameterError(
                 f"transfer did not complete within {limit} emissions; "
                 f"raise max_factor or lower the loss rate")
         verified = client.object_data() == data
-        sent = channel.sent
     else:
         client = TransferClient(codec, payload_size=None)
         slots = make_schedule(schedule, plan.block_ks)

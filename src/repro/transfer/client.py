@@ -89,6 +89,30 @@ class TransferClient:
                 self._incomplete.discard(block)
         return self.is_complete
 
+    def receive_many(self, block: int, indices: np.ndarray,
+                     payloads: Optional[np.ndarray] = None) -> bool:
+        """Batch :meth:`receive_index` for packets of one block.
+
+        Every packet counts toward the transfer's reception total (they
+        were all delivered); the block's client sees only the prefix up
+        to its completion, exactly as sequential feeding would route.
+        """
+        if not 0 <= block < self.codec.num_blocks:
+            raise ProtocolError(
+                f"packet names block {block}, transfer has "
+                f"{self.codec.num_blocks} blocks")
+        count = len(indices)
+        self.total_received += count
+        if count and block in self._incomplete:
+            if self._client_for(block).receive_many(indices, payloads):
+                self._incomplete.discard(block)
+        return self.is_complete
+
+    def block_distinct(self, block: int) -> int:
+        """Distinct packets the given block has received so far."""
+        client = self._clients[block]
+        return 0 if client is None else client.distinct_received
+
     # -- progress --------------------------------------------------------------
 
     @property

@@ -148,6 +148,21 @@ class ObjectCodec:
         self.check_wire_dtype(block)
         return self.code_for(block).encode(self.source_block(data, block))
 
+    def block_encoder(self, data: bytes, block: int) -> Any:
+        """A lazy row-on-demand encoder for one block (fixed-rate only).
+
+        Same rows, byte for byte, as :meth:`encode_block` — but a
+        carousel that completes its receivers after a partial cycle
+        never pays for the encoding rows it did not emit.
+        """
+        if self.is_rateless:
+            raise ParameterError(
+                f"{self.code_spec} is rateless — there is no finite "
+                "encoding; serve the block through a RatelessServer instead")
+        self.check_wire_dtype(block)
+        return self.code_for(block).block_encoder(
+            self.source_block(data, block))
+
     # -- manifest round-trip ---------------------------------------------------
 
     def to_manifest(self, **extra: Any) -> dict:

@@ -16,11 +16,14 @@ block id via the 16-byte :class:`~repro.fountain.packets.BlockHeader`;
 a single-block plan degrades to the legacy 12-byte header, keeping the
 wire format byte-identical to the paper's.
 
-Encode once, serve many: the per-block payload arrays (fixed-rate
-encodings, rateless source blocks) are computed in the constructor and
-cached, and :meth:`TransferServer.fork` spins up additional independent
-streams over the *same* cached arrays — one encode no matter how many
-concurrent receivers a transport fans the object out to.
+Encode once, serve many — and only what is served: fixed-rate blocks
+are held as lazy row-on-demand encoders
+(:meth:`~repro.codes.base.ErasureCode.block_encoder`), rateless blocks
+as their ``(k, P)`` source arrays, and :meth:`TransferServer.fork`
+spins up additional independent streams over the *same* cached
+objects.  Each encoding row is computed at most once no matter how
+many concurrent receivers a transport fans the object out to, and
+redundancy rows the carousels never reach are never computed at all.
 """
 
 from __future__ import annotations
@@ -64,7 +67,7 @@ class TransferServer(SequencedPacketSource):
     def __init__(self, codec: ObjectCodec, data: bytes,
                  schedule: str = "interleave",
                  seed: int = 0, group: int = 0,
-                 _payloads: Optional[List[np.ndarray]] = None):
+                 _payloads: Optional[List] = None):
         super().__init__(group=group)
         if len(data) != codec.plan.file_size:
             raise ParameterError(
@@ -76,9 +79,9 @@ class TransferServer(SequencedPacketSource):
         self._data = data
         if _payloads is None:
             _payloads = self._materialise(codec, data)
-        #: per-block payload arrays — the encode-once cache every fork
-        #: shares: the (n, P) encoding for fixed-rate codes, the (k, P)
-        #: source block for rateless ones.
+        #: per-block payload sources — the encode-once cache every fork
+        #: shares: a lazy (n, P) row encoder for fixed-rate codes, the
+        #: (k, P) source block for rateless ones.
         self._payloads = _payloads
         multi = codec.num_blocks > 1
         rateless = codec.is_rateless
@@ -96,12 +99,17 @@ class TransferServer(SequencedPacketSource):
         self._streams = [source.packets() for source in self.block_sources]
 
     @staticmethod
-    def _materialise(codec: ObjectCodec, data: bytes) -> List[np.ndarray]:
-        """The per-block payload arrays (one full encode of the object)."""
+    def _materialise(codec: ObjectCodec, data: bytes) -> List:
+        """The per-block payload sources: ``(k, P)`` source arrays for
+        rateless families, lazy row-on-demand encoders for fixed-rate
+        ones.  Redundancy rows a carousel never emits before its
+        receivers complete are rows that are never computed — and every
+        fork shares the same encoders, so each row is computed at most
+        once per server however many streams fan out."""
         if codec.is_rateless:
             return [codec.source_block(data, spec.block)
                     for spec in codec.plan.blocks]
-        return [codec.encode_block(data, spec.block)
+        return [codec.block_encoder(data, spec.block)
                 for spec in codec.plan.blocks]
 
     @property

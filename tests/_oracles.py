@@ -1,0 +1,112 @@
+"""Shared helpers for the backend differential tests.
+
+The vectorized and reference backends must be *observationally
+identical*: same spec + seed + loss realisation in, byte-identical
+packets and recoveries out.  These helpers run one complete
+encode -> lossy channel -> incremental decode round trip under a chosen
+backend and capture everything an outside observer could see, so the
+tests reduce to ``run_roundtrip("reference", ...) ==
+run_roundtrip("vectorized", ...)``.
+
+The loss realisation is drawn from its own rng, outside the backend
+under test, so both backends face exactly the same erasures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.codes.backend import use_backend
+from repro.codes.registry import REGISTRY, build_code, incremental_decoder
+
+#: seed-mixing constant so the loss stream never collides with the
+#: source-data stream derived from the same test seed.
+_LOSS_SALT = 0x10555EED
+
+
+@dataclass
+class RoundTrip:
+    """Everything observable about one encode/loss/decode run."""
+
+    #: every packet the encoder produced, concatenated.
+    encoded: bytes
+    #: arrival positions (into the survivor stream) the decoder consumed.
+    packets_fed: int
+    #: whether the decoder completed on the survivors.
+    complete: bool
+    #: reconstructed source bytes, or None when incomplete.
+    recovered: Optional[bytes]
+
+
+def make_source(k: int, payload_size: int, seed: int) -> np.ndarray:
+    """Deterministic random ``(k, P)`` uint8 source block."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, payload_size), dtype=np.uint8)
+
+
+def loss_realisation(count: int, loss: float, seed: int) -> np.ndarray:
+    """A fixed delivery mask over ``count`` emissions (True = delivered)."""
+    rng = np.random.default_rng(seed ^ _LOSS_SALT)
+    return rng.random(count) >= loss
+
+
+def run_roundtrip(backend: str, spec: str, k: int, payload_size: int,
+                  seed: int, loss: float = 0.3,
+                  emissions: Optional[int] = None) -> RoundTrip:
+    """One full round trip under ``backend``; see :class:`RoundTrip`.
+
+    Fixed-rate families emit their whole ``(n, P)`` encoding; rateless
+    families mint ``emissions`` droplets (default ``3 * k``).  Survivors
+    of the shared loss realisation feed the family's incremental decoder
+    one packet at a time until it reports completion.
+    """
+    source = make_source(k, payload_size, seed)
+    rateless = REGISTRY.is_rateless(spec)
+    if emissions is None:
+        emissions = 3 * k if rateless else None
+    with use_backend(backend):
+        code = build_code(spec, k, seed=seed)
+        if rateless:
+            encoded = code.encode(source, emissions)
+        else:
+            encoded = code.encode(source)
+        mask = loss_realisation(encoded.shape[0], loss, seed)
+        decoder = incremental_decoder(code, payload_size=payload_size)
+        fed = 0
+        for index in np.nonzero(mask)[0]:
+            fed += 1
+            # add_packet's return value means "was new" for some
+            # decoders; is_complete is the portable completion signal.
+            decoder.add_packet(int(index), encoded[index])
+            if decoder.is_complete:
+                break
+        complete = bool(decoder.is_complete)
+        recovered = decoder.source_data().tobytes() if complete else None
+    return RoundTrip(encoded=encoded.tobytes(), packets_fed=fed,
+                     complete=complete, recovered=recovered)
+
+
+def assert_backends_identical(spec: str, k: int, payload_size: int,
+                              seed: int, loss: float = 0.3,
+                              emissions: Optional[int] = None) -> RoundTrip:
+    """Run both backends and assert observational identity.
+
+    Returns the reference run so callers can make further assertions
+    (e.g. that the recovery actually equals the source).
+    """
+    reference = run_roundtrip("reference", spec, k, payload_size, seed,
+                              loss=loss, emissions=emissions)
+    vectorized = run_roundtrip("vectorized", spec, k, payload_size, seed,
+                               loss=loss, emissions=emissions)
+    assert vectorized.encoded == reference.encoded, \
+        f"{spec} k={k} P={payload_size} seed={seed}: encoded bytes differ"
+    assert vectorized.complete == reference.complete, \
+        f"{spec} k={k} P={payload_size} seed={seed}: decode outcome differs"
+    assert vectorized.packets_fed == reference.packets_fed, \
+        f"{spec} k={k} P={payload_size} seed={seed}: completion point differs"
+    assert vectorized.recovered == reference.recovered, \
+        f"{spec} k={k} P={payload_size} seed={seed}: recovered bytes differ"
+    return reference

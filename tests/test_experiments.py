@@ -55,11 +55,16 @@ class TestTableRunners:
         render_table(table3.build_table(result))
 
     def test_table4_cell(self):
-        result = table4.run(sizes_kb=[200], loss_rates=[0.1, 0.5],
+        # Size must exceed the cap threshold regime: below it a Tornado
+        # code degenerates to its RS cap, and with the vectorized RS
+        # kernels both sides of the ratio are equal call overhead — the
+        # asymptotic speedup the table demonstrates only exists once the
+        # cascade is real.
+        result = table4.run(sizes_kb=[768], loss_rates=[0.1, 0.5],
                             threshold_trials=10, search_trials=10,
                             payload=64)
-        entry_low = result.entries[200][0.1]
-        entry_high = result.entries[200][0.5]
+        entry_low = result.entries[768][0.1]
+        entry_high = result.entries[768][0.5]
         assert entry_low.speedup > 1.0
         # Higher loss forces fewer blocks -> bigger per-block cost.
         assert entry_high.num_blocks <= entry_low.num_blocks

@@ -1,0 +1,128 @@
+"""Property tests for the packed-lane and GF table primitives.
+
+These are the axioms the vectorized kernels lean on: uint64 lane
+packing must round-trip any byte block (odd widths included), XOR
+through packed lanes must equal byte-level XOR and keep its group
+structure, and the log/exp table kernels must agree with the scalar
+field on *every* operand pair.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.gf.gf256 import GF256
+from repro.utils.packed import LANE_BYTES, pack_rows, unpack_rows, xor_view
+
+#: shapes small enough to explore densely but covering every tail-lane
+#: residue (width % 8 in 0..7) and the empty edges.
+_rows = st.integers(min_value=0, max_value=6)
+_width = st.integers(min_value=0, max_value=41)
+_seed = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _block(rows: int, width: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(rows, width), dtype=np.uint8)
+
+
+def _bytes_xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class TestPackRoundTrip:
+    @given(_rows, _width, _seed)
+    @settings(max_examples=120, deadline=None)
+    def test_pack_unpack_roundtrip(self, rows, width, seed):
+        block = _block(rows, width, seed)
+        packed, w = pack_rows(block)
+        assert w == width
+        assert packed.dtype == np.uint64
+        assert packed.shape == (rows, -(-width // LANE_BYTES))
+        assert np.array_equal(unpack_rows(packed, w), block)
+
+    @given(_rows, _width, _seed)
+    @settings(max_examples=60, deadline=None)
+    def test_tail_lane_is_zero_padded(self, rows, width, seed):
+        packed, _ = pack_rows(_block(rows, width, seed))
+        raw = packed.view(np.uint8)
+        assert np.all(raw[:, width:] == 0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ParameterError):
+            pack_rows(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ParameterError):
+            unpack_rows(np.zeros((2, 2), dtype=np.uint64), width=17)
+
+
+class TestPackedXor:
+    @given(_rows, _width, _seed)
+    @settings(max_examples=120, deadline=None)
+    def test_lane_xor_equals_byte_xor(self, rows, width, seed):
+        a = _block(rows, width, seed)
+        b = _block(rows, width, seed + 1)
+        pa, _ = pack_rows(a)
+        pb, _ = pack_rows(b)
+        via_lanes = unpack_rows(pa ^ pb, width)
+        for i in range(rows):
+            assert via_lanes[i].tobytes() == _bytes_xor(a[i].tobytes(),
+                                                        b[i].tobytes())
+
+    @given(_rows, _width, _seed)
+    @settings(max_examples=60, deadline=None)
+    def test_xor_commutes_and_associates(self, rows, width, seed):
+        pa, _ = pack_rows(_block(rows, width, seed))
+        pb, _ = pack_rows(_block(rows, width, seed + 1))
+        pc, _ = pack_rows(_block(rows, width, seed + 2))
+        assert np.array_equal(pa ^ pb, pb ^ pa)
+        assert np.array_equal((pa ^ pb) ^ pc, pa ^ (pb ^ pc))
+        assert np.array_equal(pa ^ pa, np.zeros_like(pa))
+
+    @given(_rows, _width, _seed)
+    @settings(max_examples=60, deadline=None)
+    def test_xor_view_aliases_the_block(self, rows, width, seed):
+        block = _block(rows, width, seed)
+        other = _block(rows, width, seed + 1)
+        expect = block ^ other
+        view = xor_view(block)
+        view ^= xor_view(other)
+        assert np.array_equal(block, expect)
+        if width and width % LANE_BYTES == 0:
+            assert view.dtype == np.uint64
+
+
+class TestGF256Tables:
+    def test_mul_matches_scalar_all_pairs(self):
+        """The vectorized product agrees with the scalar field on all
+        256 x 256 operand pairs, zero rows/columns included."""
+        a = np.repeat(np.arange(256), 256).astype(np.uint8)
+        b = np.tile(np.arange(256), 256).astype(np.uint8)
+        scalar = np.array([GF256.mul(int(x), int(y))
+                           for x, y in zip(a, b)], dtype=np.uint8)
+        assert np.array_equal(GF256.mul_vec(a, b), scalar)
+        # the sentinel-table kernel (no masking pass) used by the
+        # vectorized matvec must agree too
+        sentinel = GF256._exp_z[GF256._log_z[a.astype(np.int64)]
+                                + GF256._log_z[b.astype(np.int64)]]
+        assert np.array_equal(sentinel, scalar)
+
+    def test_div_matches_scalar_all_pairs(self):
+        a = np.repeat(np.arange(256), 255).astype(np.uint8)
+        b = np.tile(np.arange(1, 256), 256).astype(np.uint8)
+        scalar = np.array([GF256.div(int(x), int(y))
+                           for x, y in zip(a, b)], dtype=np.uint8)
+        assert np.array_equal(GF256.div_vec(a, b), scalar)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=1, max_value=255))
+    @settings(max_examples=120, deadline=None)
+    def test_div_inverts_mul(self, a, b):
+        assert GF256.div(GF256.mul(a, b), b) == a
+
+    def test_exp_z_tail_is_zero(self):
+        """Any index sum involving the zero sentinel lands on zero."""
+        order = GF256.order
+        assert GF256._log_z[0] == 2 * order
+        assert np.all(GF256._exp_z[2 * (order - 1):] == 0)

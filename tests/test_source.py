@@ -115,13 +115,13 @@ class TestTransferFork:
     def test_fork_shares_encodings(self, setup, monkeypatch):
         data, codec = setup
         calls = []
-        original = ObjectCodec.encode_block
+        original = ObjectCodec.block_encoder
 
         def counting(self, data, block):
             calls.append(block)
             return original(self, data, block)
 
-        monkeypatch.setattr(ObjectCodec, "encode_block", counting)
+        monkeypatch.setattr(ObjectCodec, "block_encoder", counting)
         server = TransferServer(codec, data, seed=1)
         encoded_once = len(calls)
         assert encoded_once == codec.num_blocks

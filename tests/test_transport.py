@@ -334,13 +334,13 @@ class TestUdpUnicast:
         from repro.transfer.codec import ObjectCodec
 
         encodes = []
-        original = ObjectCodec.encode_block
+        original = ObjectCodec.block_encoder
 
         def counting(self, data, block):
             encodes.append(block)
             return original(self, data, block)
 
-        monkeypatch.setattr(ObjectCodec, "encode_block", counting)
+        monkeypatch.setattr(ObjectCodec, "block_encoder", counting)
         data = _random_bytes(300_000, seed=51)
         receivers, report, session = _serve_to_receivers(
             data, "tornado-b", n_receivers=8, loss=0.05, seed=61)

@@ -57,6 +57,9 @@ METRIC_RULES: List[Tuple[str, str, Dict[str, float]]] = [
     (r"(seconds|elapsed|_ms$|_s$)", "lower", {"factor": 4.0}),
     (r"(throughput|mbps|per_sec|per_second|goodput|pkt_s|pps)",
      "higher", {"factor": 4.0}),
+    # vectorized-over-reference ratios: same-machine measurements, so a
+    # tighter factor locks the vectorization win in against backsliding.
+    (r"speedup", "higher", {"factor": 2.0}),
     (r"overhead", "lower", {"abs_tol": 0.05, "rel_tol": 0.5}),
     (r"(completion|efficiency|eta|rate)", "higher",
      {"abs_tol": 0.02, "rel_tol": 0.05}),
