@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-reference coverage test-udp bench-smoke bench-transfer \
-	bench-udp bench-swarm bench-gate swarm-smoke docs-check typecheck all
+	bench-ingest bench-udp bench-swarm bench-gate swarm-smoke \
+	docs-check typecheck all
 
 all: test docs-check typecheck
 
@@ -52,6 +53,15 @@ bench-smoke:
 # reporting reception overhead and end-to-end goodput.
 bench-transfer:
 	$(PYTHON) -m pytest -q benchmarks/bench_transfer_blocks.py
+
+# Decode-ingest rates: droplets/sec and decode MB/s per backend and
+# batch size, including the gated batched_ingest_speedup headline
+# (asserted >= 4x in the bench itself, floor-checked by bench-gate).
+# Note: a standalone run rewrites BENCH_transfer.json with only the
+# ingest rows — run bench-smoke (or bench-transfer in the same pytest
+# process) afterwards before invoking bench-gate.
+bench-ingest:
+	$(PYTHON) -m pytest -q benchmarks/bench_decode_ingest.py
 
 # UDP loopback delivery: sender spray rate + end-to-end goodput.
 bench-udp:

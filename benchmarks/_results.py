@@ -33,9 +33,28 @@ _RECORDERS: List["BenchRecorder"] = []
 
 
 class BenchRecorder:
-    """Collects metric rows for one ``BENCH_<name>.json`` summary."""
+    """Collects metric rows for one ``BENCH_<name>.json`` summary.
+
+    One recorder per summary file: constructing a second recorder for
+    the same file name hands back the first instance, so several bench
+    modules can publish into one summary (``flush`` rewrites the whole
+    file, and separate instances would clobber each other's rows).
+    """
+
+    _by_path: Dict[pathlib.Path, "BenchRecorder"] = {}
+
+    def __new__(cls, file_name: str) -> "BenchRecorder":
+        path = REPO_ROOT / file_name
+        existing = cls._by_path.get(path)
+        if existing is not None:
+            return existing
+        instance = super().__new__(cls)
+        cls._by_path[path] = instance
+        return instance
 
     def __init__(self, file_name: str):
+        if getattr(self, "rows", None) is not None:
+            return  # shared instance, already initialised
         self.path = REPO_ROOT / file_name
         self.rows: List[Dict[str, Any]] = []
         _RECORDERS.append(self)

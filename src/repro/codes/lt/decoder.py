@@ -55,6 +55,13 @@ class LTDecoder(PeelingEngine):
         super().__init__(spec.k,
                          payload_size=payload_size,
                          inactivation_limit=inactivation_limit)
+        # With the finisher able to take on the whole block (limit >= k)
+        # the bitmatrix engine decodes lazily: droplets accumulate as
+        # packed rows and one structured elimination recovers everything
+        # at the first full-rank packet — the same packet incremental
+        # peeling would finish on, without its per-wave payload traffic.
+        self._lazy_peel = (self._bitmatrix
+                           and self.inactivation_limit >= spec.k)
         self._droplet_ids: Set[int] = set()
         self._packets_added = 0
         self._duplicates = 0
@@ -76,6 +83,40 @@ class LTDecoder(PeelingEngine):
     def redundant_droplets(self) -> int:
         """Distinct droplets that carried no new information on arrival."""
         return self._redundant
+
+    @property
+    def min_additional_packets(self) -> int:
+        """Provable lower bound on further droplets needed to complete.
+
+        Information-theoretic: completion needs the received generator
+        matrix to reach rank ``k``, each droplet raises that rank by at
+        most one, and peeling never changes it (substitution within the
+        row span).  Two bounds compose, both exact in droplet counts:
+
+        * unknowns minus active equations (rank <= surviving rows);
+        * the rank deficit recorded by the last failed elimination
+          attempt, less one per equation *arrival* since — arrivals,
+          not stored rows: a droplet consumed on entry (degree one
+          after substitution) raises the rank without ever joining
+          ``equation_count``, so counting stored rows would overstate
+          the bound and let a batch chunk complete mid-chunk.
+
+        Batch feeders size ingest chunks with this so completion can
+        only land on a chunk's final packet, keeping reception counters
+        identical to one-at-a-time feeding.
+        """
+        if self.is_complete:
+            return 0
+        unknowns = self.num_nodes - int(np.count_nonzero(self.known))
+        rows = int(np.count_nonzero(
+            self.unknown_count[:self._num_equations] >= 1))
+        bound = max(1, unknowns - rows)
+        gate = self._stall_gate
+        if gate is not None:
+            _, stalled_seen, deficit = gate
+            bound = max(bound,
+                        deficit - (self._equations_seen - stalled_seen))
+        return bound
 
     # -- feeding droplets ------------------------------------------------------
 

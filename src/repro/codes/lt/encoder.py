@@ -197,51 +197,69 @@ class DropletSpec:
         Returns ``(flat, indptr)``: droplet ``i``'s neighbours are
         ``flat[indptr[i]:indptr[i + 1]]``, in exactly the order the
         scalar :meth:`neighbours` produces them.
+
+        One ragged pass: every droplet gets a walk window sized to make
+        a shortfall vanishingly rare (acceptance rate is ``k / domain``,
+        at least one in four), all windows evaluate through the Feistel
+        network as a single flat batch, and per-row acceptance ranks
+        place the kept outputs.  A droplet whose window still came up
+        short — possible, since acceptance is deterministic, just
+        unlikely — falls back to the scalar walk; the flat pass produces
+        the identical prefix, so outputs stay bit-equal either way.
         """
         ids = np.asarray(droplet_ids, dtype=np.int64)
-        degrees = self.degrees_of(ids).astype(np.int64)
+        if ids.size and int(ids.min()) < 0:
+            raise ParameterError("droplet id must be >= 0")
         indptr = np.zeros(ids.size + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        flat = np.empty(int(indptr[-1]), dtype=np.int64)
         if not ids.size:
-            return flat, indptr
+            return np.empty(0, dtype=np.int64), indptr
         base = (np.uint64(self._key)
                 + ids.astype(np.uint64) * np.uint64(_ID_STRIDE))
-        keys = _splitmix64_np(base[:, None]
-                              + np.arange(1, _ROUNDS + 1, dtype=np.uint64))
-        need = degrees.copy()
-        fill = indptr[:-1].copy()
-        walk_pos = np.zeros(ids.size, dtype=np.int64)
-        active = np.nonzero(need > 0)[0]
-        # Walk positions per accepted output: the permutation domain has
-        # exactly k of its 2**(2*half_bits) values inside [0, k).
-        stride = (1 << (2 * self._half_bits)) / self.k
-        first_pass = True
-        while active.size:
-            # First pass sizes the chunk for the *typical* row (soliton
-            # degrees are mostly small); the rare high-degree stragglers
-            # re-enter with a chunk sized for their own worst need, so
-            # one spike row never inflates the whole grid.
-            scale = float(need[active].mean() if first_pass
-                          else need[active].max())
-            width = int(min(2048, 8 + np.ceil(2.0 * scale * stride)))
-            first_pass = False
-            xs = (walk_pos[active, None]
-                  + np.arange(width, dtype=np.int64)).astype(np.uint64)
-            ys = self._permute_block(xs, keys[active])
-            accept = ys < self.k
-            ranks = np.cumsum(accept, axis=1)
-            take = accept & (ranks <= need[active, None])
-            taken = take.sum(axis=1)
-            flat_take = take.ravel()
-            vals = ys.ravel()[flat_take]
-            row_starts = np.cumsum(taken) - taken
-            within = np.arange(vals.size) - np.repeat(row_starts, taken)
-            flat[np.repeat(fill[active], taken) + within] = vals
-            fill[active] += taken
-            need[active] -= taken
-            walk_pos[active] += width
-            active = active[need[active] > 0]
+        # One splitmix pass covers the degree word (column 0) and the
+        # four Feistel round keys.
+        words = _splitmix64_np(base[:, None]
+                               + np.arange(_ROUNDS + 1, dtype=np.uint64))
+        u = (words[:, 0] >> np.uint64(11)) * 2.0 ** -53
+        slots = np.searchsorted(self._degree_cdf, u, side="right")
+        np.minimum(slots, self._degree_table.size - 1, out=slots)
+        degrees = self._degree_table[slots]
+        keys = words[:, 1:]
+        np.cumsum(degrees, out=indptr[1:])
+        flat = np.empty(int(indptr[-1]), dtype=np.int64)
+        # The domain holds exactly k valid outputs, so a full-domain walk
+        # can never come up short; the expected positions plus a margin
+        # proportional to the degree keeps the flat batch small while
+        # making fallbacks rare.
+        domain = 1 << (2 * self._half_bits)
+        per_accept = -(-domain // self.k)
+        widths = np.minimum(
+            per_accept * (degrees + 4) + (per_accept * degrees >> 2) + 4,
+            domain)
+        starts = np.cumsum(widths) - widths
+        total = int(starts[-1] + widths[-1])
+        row_of = np.repeat(np.arange(ids.size), widths)
+        xs = (np.arange(total, dtype=np.int64)
+              - starts[row_of]).astype(np.uint64)
+        hb = self._half_bits
+        half_mask = np.uint64((1 << hb) - 1)
+        shift = np.uint64(64 - hb)
+        left = xs >> np.uint64(hb)
+        right = xs & half_mask
+        flat_keys = keys[row_of]
+        for r in range(_ROUNDS):
+            f = _splitmix64_np(right + flat_keys[:, r]) >> shift
+            left, right = right, left ^ f
+        ys = ((left << np.uint64(hb)) | right).astype(np.int64)
+        accept = ys < self.k
+        cs = np.cumsum(accept)
+        before = cs[starts] - accept[starts]
+        rank = cs - before[row_of]
+        take = accept & (rank <= degrees[row_of])
+        rows_t = row_of[take]
+        flat[indptr[rows_t] + rank[take] - 1] = ys[take]
+        taken = np.bincount(rows_t, minlength=ids.size)
+        for i in np.nonzero(taken < degrees)[0].tolist():
+            flat[indptr[i]:indptr[i + 1]] = self.neighbours(int(ids[i]))
         return flat, indptr
 
     def neighbour_lists(self, droplet_ids: Iterable[int]):
@@ -300,10 +318,24 @@ class LTEncoder:
         if ids.size == 0:
             return np.empty((0, self.payload_size), dtype=np.uint8)
         flat, indptr = self.spec.neighbour_block(ids)
-        gathered = self.source[flat]
-        packed = xor_view(gathered)
-        out = np.bitwise_xor.reduceat(packed, indptr[:-1], axis=0)
-        if packed is not gathered:
+        src = xor_view(self.source)
+        starts = indptr[:-1]
+        lens = np.diff(indptr)
+        # Soliton degrees concentrate at the low end, so XOR neighbour
+        # j of every still-active droplet per pass: a handful of masked
+        # gathers covers almost all rows, and only the rare heavy
+        # droplets (the spike) fall through to a per-row reduction —
+        # measurably faster than one segmented reduceat over the ragged
+        # incidence, whose generic inner loop dominates this shape.
+        out = src[flat[starts]].copy()
+        light = int(min(8, int(lens.max())))
+        for j in range(1, light):
+            sel = np.nonzero(lens > j)[0]
+            out[sel] ^= src[flat[starts[sel] + j]]
+        for i in np.nonzero(lens > light)[0].tolist():
+            out[i] ^= np.bitwise_xor.reduce(
+                src[flat[starts[i] + light:indptr[i + 1]]], axis=0)
+        if out.dtype != np.uint8:
             out = out.view(np.uint8)
         return out
 

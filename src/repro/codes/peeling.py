@@ -62,6 +62,52 @@ def _group_sorted(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     return starts, keys[starts]
 
 
+#: node-count ceiling for the packed-bitmatrix dynamic store.  One
+#: equation row costs ``num_nodes / 8`` bytes, so the dense rows stay
+#: cache-friendly for transfer-block-sized systems and the engine falls
+#: back to adjacency dicts beyond it.
+_BITMATRIX_MAX_NODES = 1 << 14
+
+if hasattr(np, "bitwise_count"):
+    def _row_popcounts(block: np.ndarray) -> np.ndarray:
+        """Per-row set-bit counts of a packed ``(rows, words)`` block."""
+        return np.bitwise_count(block).sum(axis=1, dtype=np.int64)
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+    def _row_popcounts(block: np.ndarray) -> np.ndarray:
+        return _POP8[np.ascontiguousarray(block).view(np.uint8)].sum(
+            axis=1, dtype=np.int64)
+
+
+def _scatter_bits(dest: np.ndarray, cols: np.ndarray) -> None:
+    """Set bit ``c`` (word ``c >> 6``, bit ``c & 63``) for every col."""
+    np.bitwise_or.at(dest, cols >> 6,
+                     np.uint64(1) << (cols & 63).astype(np.uint64))
+
+
+def _bit_indices(x: int) -> np.ndarray:
+    """Positions of the set bits of a non-negative python int."""
+    if x == 0:
+        return np.zeros(0, dtype=np.int64)
+    buf = np.frombuffer(x.to_bytes((x.bit_length() + 7) // 8, "little"),
+                        dtype=np.uint8)
+    return np.nonzero(np.unpackbits(buf, bitorder="little"))[0]
+
+
+def _st_fold_dense(basis: Dict[int, Tuple[int, int]], r: int,
+                   c: int) -> None:
+    """Echelon-fold one dense row (coefficients ``r``, row-combo ``c``)."""
+    while r:
+        top = r.bit_length() - 1
+        entry = basis.get(top)
+        if entry is None:
+            basis[top] = (r, c)
+            return
+        r ^= entry[0]
+        c ^= entry[1]
+
+
 class PeelingEngine:
     """Incremental XOR-equation solver over ``num_nodes`` packet slots.
 
@@ -100,10 +146,16 @@ class PeelingEngine:
         self.known = np.zeros(self.num_nodes, dtype=bool)
         self._source_known = 0
         self._num_equations = 0
+        # Every equation arrival, including ones consumed on entry
+        # (degree-1 solves) or dropped as redundant — ``_num_equations``
+        # counts only *stored* rows, which undercounts rank growth:
+        # a consumed arrival raises the system rank without ever being
+        # stored, so deficit bounds must tick against arrivals.
+        self._equations_seen = 0
         self.unknown_count = np.zeros(0, dtype=np.int64)
         self.xor_ids = np.zeros(0, dtype=np.int64)
         self._inactivation_runs = 0
-        # After a failed solve: (unknowns, num_equations, rank deficit).
+        # After a failed solve: (unknowns, equations_seen, rank deficit).
         self._stall_gate: Optional[Tuple[int, int, int]] = None
         # Incremental elimination state (vectorized backend): the echelon
         # basis survives across attempts while the known set is stable,
@@ -111,6 +163,10 @@ class PeelingEngine:
         self._known_generation = 0
         self._ml_basis: Optional[dict] = None
         self._ml_state: Optional[Tuple[int, int]] = None
+        # Structured-finisher decomposition cached across failed attempts
+        # (bitmatrix engines): valid while the known set is stable, so a
+        # retry only folds the equations that arrived since.
+        self._st_cache: Optional[dict] = None
         # Static incidence (node -> equations), built once by
         # load_static_equations; None until then.
         self._node_indptr: Optional[np.ndarray] = None
@@ -120,7 +176,24 @@ class PeelingEngine:
         self._static_eq_count = 0
         self._eq_indptr: Optional[np.ndarray] = None
         self._eq_nodes: Optional[np.ndarray] = None
-        # Dynamic incidence for equations added after construction.
+        # Dynamic incidence for equations added after construction.  The
+        # vectorized backend stores it as a packed uint64 bitmatrix (one
+        # row per equation, bit = participant unknown at entry) so waves
+        # and the inactivation finisher run as whole-matrix bit ops; the
+        # reference backend (and any engine with static equations) keeps
+        # per-node adjacency dicts.
+        self._bitmatrix = (self._vectorized
+                           and self.num_nodes <= _BITMATRIX_MAX_NODES)
+        # Lazy-peel discipline (opt-in, bitmatrix engines only): skip
+        # incremental payload peeling entirely and let the gated
+        # structured finisher decode the accumulated system in one
+        # decomposition + one batched back-substitution.  Completion
+        # lands on the same packet either way — both disciplines finish
+        # exactly when the received system first reaches full rank.
+        self._lazy_peel = False
+        self._words = (self.num_nodes + 63) >> 6
+        self._dyn_rows = np.zeros((0, self._words), dtype=np.uint64)
+        self._known_bits = np.zeros(self._words, dtype=np.uint64)
         self._dyn_node_eqs: Dict[int, List[int]] = {}
         self._dyn_eq_nodes: Dict[int, np.ndarray] = {}
         if payload_size is not None:
@@ -149,6 +222,9 @@ class PeelingEngine:
                 "static equations must be installed on a fresh engine")
         nodes = np.asarray(nodes, dtype=np.int64)
         eqs = np.asarray(eqs, dtype=np.int64)
+        # Mixed static/dynamic systems keep the adjacency-dict scheme;
+        # the bitmatrix store is the pure-dynamic (rateless) fast path.
+        self._bitmatrix = False
         self._num_equations = int(num_equations)
         self._static_eq_count = self._num_equations
         # CSR: node -> equations it participates in.
@@ -186,6 +262,7 @@ class PeelingEngine:
             return False
         if np.any((participants < 0) | (participants >= self.num_nodes)):
             raise ParameterError("equation participant outside node range")
+        self._equations_seen += 1
         known_mask = self.known[participants]
         unknown = participants[~known_mask]
         if self.values is not None:
@@ -199,7 +276,7 @@ class PeelingEngine:
             acc = None
         if unknown.size == 0:
             return False
-        if unknown.size == 1:
+        if unknown.size == 1 and not self._st_deferred():
             node = int(unknown[0])
             if self.values is not None:
                 self.values[node] = acc
@@ -208,9 +285,12 @@ class PeelingEngine:
             self._propagate(frontier)
             return True
         eq = self._append_equation(unknown, acc)
-        for node in unknown.tolist():
-            self._dyn_node_eqs.setdefault(int(node), []).append(eq)
-        self._dyn_eq_nodes[eq] = unknown
+        if self._bitmatrix:
+            _scatter_bits(self._dyn_rows[eq], unknown)
+        else:
+            for node in unknown.tolist():
+                self._dyn_node_eqs.setdefault(int(node), []).append(eq)
+            self._dyn_eq_nodes[eq] = unknown
         return True
 
     def add_equations(self, indptr: np.ndarray, participants: np.ndarray,
@@ -242,6 +322,7 @@ class PeelingEngine:
         if participants.size and np.any(
                 (participants < 0) | (participants >= self.num_nodes)):
             raise ParameterError("equation participant outside node range")
+        self._equations_seen += m
         sizes = np.diff(indptr)
         eq_of = np.repeat(np.arange(m), sizes)
         known_edge = self.known[participants]
@@ -263,12 +344,16 @@ class PeelingEngine:
         deg = np.bincount(eq_of[unknown_edge], minlength=m)
         # Degree >= 2 equations join the active system *before* the
         # propagation wave, so the wave reduces them like any other.
-        keep = np.nonzero(deg >= 2)[0]
+        # While the engine is stalled on a cached decomposition, degree
+        # one equations join the system too (see _st_deferred) instead
+        # of solving their node — the elimination retry folds them.
+        min_deg = 1 if self._st_deferred() else 2
+        keep = np.nonzero(deg >= min_deg)[0]
         if keep.size:
             while self._num_equations + keep.size > self.unknown_count.shape[0]:
                 self._grow_equations()
             eq_ids = self._num_equations + np.arange(keep.size)
-            keep_edge = unknown_edge & (deg[eq_of] >= 2)
+            keep_edge = unknown_edge & (deg[eq_of] >= min_deg)
             nodes_k = participants[keep_edge]
             starts, _ = _group_sorted(eq_of[keep_edge])
             self.unknown_count[eq_ids] = deg[keep]
@@ -276,14 +361,24 @@ class PeelingEngine:
             if self._acc is not None:
                 self._acc[eq_ids] = acc[keep]
             self._num_equations += keep.size
-            bounds = np.append(starts, nodes_k.size)
-            for j, eq in enumerate(eq_ids.tolist()):
-                seg = nodes_k[bounds[j]:bounds[j + 1]]
-                self._dyn_eq_nodes[eq] = seg
-                for node in seg.tolist():
-                    self._dyn_node_eqs.setdefault(node, []).append(eq)
+            if self._bitmatrix:
+                # One scatter sets every (equation, participant) bit.
+                row_of = np.zeros(m, dtype=np.int64)
+                row_of[keep] = eq_ids
+                rows_e = row_of[eq_of[keep_edge]]
+                np.bitwise_or.at(
+                    self._dyn_rows, (rows_e, nodes_k >> 6),
+                    np.uint64(1) << (nodes_k & 63).astype(np.uint64))
+            else:
+                bounds = np.append(starts, nodes_k.size)
+                for j, eq in enumerate(eq_ids.tolist()):
+                    seg = nodes_k[bounds[j]:bounds[j + 1]]
+                    self._dyn_eq_nodes[eq] = seg
+                    for node in seg.tolist():
+                        self._dyn_node_eqs.setdefault(node, []).append(eq)
             contributed[keep] = True
-        ones = np.nonzero(deg == 1)[0]
+        ones = np.nonzero(deg == 1)[0] if min_deg == 2 else \
+            np.zeros(0, dtype=np.int64)
         if ones.size:
             nodes1 = participants[unknown_edge & (deg[eq_of] == 1)]
             uniq, first = np.unique(nodes1, return_index=True)
@@ -318,6 +413,10 @@ class PeelingEngine:
             grown = np.zeros((new_cap, self.payload_size), dtype=np.uint8)
             grown[:self._num_equations] = self._acc[:self._num_equations]
             self._acc = grown
+        if self._bitmatrix:
+            grown = np.zeros((new_cap, self._words), dtype=np.uint64)
+            grown[:self._num_equations] = self._dyn_rows[:self._num_equations]
+            self._dyn_rows = grown
 
     def observe_nodes(self, nodes: np.ndarray,
                       payloads: Optional[np.ndarray] = None) -> None:
@@ -373,6 +472,8 @@ class PeelingEngine:
 
     def _mark_known(self, nodes: np.ndarray) -> None:
         self.known[nodes] = True
+        if self._bitmatrix:
+            _scatter_bits(self._known_bits, nodes)
         self._source_known += int(np.count_nonzero(nodes < self.source_count))
         # Any change to the known set reshapes the stalled system's
         # columns; the incremental elimination basis is built per shape.
@@ -406,10 +507,53 @@ class PeelingEngine:
             return eq_parts[0], node_parts[0]
         return np.concatenate(eq_parts), np.concatenate(node_parts)
 
+    def _wave_bitmatrix(self, frontier: np.ndarray) -> Optional[np.ndarray]:
+        """One peeling wave over the packed dynamic rows.
+
+        Intersecting every equation row with the frontier bitmask finds
+        all (equation, solved-node) incidences of the wave in one pass:
+        popcounts decrement ``unknown_count`` wholesale, and the set bits
+        of the touched intersections expand (row-major, so already
+        grouped by equation) into segmented XOR reductions over node ids
+        and payloads.  Bits are never cleared — a node becomes known
+        exactly once, so each incidence intersects exactly one wave.
+        Returns the touched equation ids, or None when the wave missed.
+        """
+        m = self._num_equations
+        if m == 0:
+            return None
+        rows = self._dyn_rows[:m]
+        mask = np.zeros(self._words, dtype=np.uint64)
+        _scatter_bits(mask, frontier)
+        inter = rows & mask
+        hits = _row_popcounts(inter)
+        touched = np.nonzero(hits)[0]
+        if touched.size == 0:
+            return None
+        self.unknown_count[touched] -= hits[touched]
+        bits = np.unpackbits(inter[touched].view(np.uint8),
+                             bitorder="little")
+        r_idx, cols = np.nonzero(bits.reshape(touched.size, -1))
+        starts = np.concatenate(([0], np.nonzero(np.diff(r_idx))[0] + 1))
+        self.xor_ids[touched] ^= np.bitwise_xor.reduceat(cols, starts)
+        if self._acc is not None:
+            folded = np.bitwise_xor.reduceat(
+                xor_view(self.values[cols]), starts, axis=0)
+            xor_view(self._acc)[touched] ^= folded
+        return touched
+
     def _propagate(self, frontier: np.ndarray) -> None:
         """Run peeling waves until quiescent, invoking the subclass hook."""
         while True:
             while frontier.size:
+                if self._bitmatrix:
+                    touched = self._wave_bitmatrix(frontier)
+                    if touched is None:
+                        frontier = np.zeros(0, dtype=np.int64)
+                        break
+                    ready = touched[self.unknown_count[touched] == 1]
+                    frontier = self._advance_wave(ready)
+                    continue
                 eqs, nodes_rep = self._gather_incidences(frontier)
                 if eqs is None:
                     frontier = np.zeros(0, dtype=np.int64)
@@ -444,22 +588,25 @@ class PeelingEngine:
                                           self.values[nodes_rep])
                     touched = np.unique(eqs)
                 ready = touched[self.unknown_count[touched] == 1]
-                candidates = self.xor_ids[ready]
-                new_mask = ~self.known[candidates]
-                candidates = candidates[new_mask]
-                ready = ready[new_mask]
-                if candidates.size == 0:
-                    frontier = np.zeros(0, dtype=np.int64)
-                    break
-                uniq, first = np.unique(candidates, return_index=True)
-                if self.values is not None:
-                    self.values[uniq] = self._acc[ready[first]]
-                self._mark_known(uniq)
-                frontier = uniq
+                frontier = self._advance_wave(ready)
             extra = self._on_quiescent()
             if extra is None or extra.size == 0:
                 return
             frontier = extra
+
+    def _advance_wave(self, ready: np.ndarray) -> np.ndarray:
+        """Solve a wave's degree-one equations; returns the next frontier."""
+        candidates = self.xor_ids[ready]
+        new_mask = ~self.known[candidates]
+        candidates = candidates[new_mask]
+        ready = ready[new_mask]
+        if candidates.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        uniq, first = np.unique(candidates, return_index=True)
+        if self.values is not None:
+            self.values[uniq] = self._acc[ready[first]]
+        self._mark_known(uniq)
+        return uniq
 
     def _on_quiescent(self) -> Optional[np.ndarray]:
         """Hook: called when a wave dies out; return a fresh frontier.
@@ -501,6 +648,11 @@ class PeelingEngine:
         if eq < self._static_eq_count:
             lo, hi = self._eq_indptr[eq], self._eq_indptr[eq + 1]
             return self._eq_nodes[lo:hi]
+        if self._bitmatrix:
+            bits = np.unpackbits(
+                np.ascontiguousarray(self._dyn_rows[eq]).view(np.uint8),
+                bitorder="little")
+            return np.nonzero(bits)[0].astype(np.int64)
         return self._dyn_eq_nodes[eq]
 
     def _row_incidences(self, rows: np.ndarray
@@ -550,14 +702,14 @@ class PeelingEngine:
             return
         gate = self._stall_gate
         if gate is not None:
-            stalled_unknowns, stalled_eqs, deficit = gate
+            stalled_unknowns, stalled_seen, deficit = gate
             # The failed attempt established the system's rank deficit.
-            # Each new equation raises the rank by at most one, and each
-            # node peeling resolves removes one column while lowering the
-            # rank by at most one — either way the deficit shrinks by at
-            # most one per event.  Until enough events have accumulated
-            # the system is provably still singular.
-            progress = ((self._num_equations - stalled_eqs)
+            # Each equation arrival raises the rank by at most one, and
+            # each node peeling resolves removes one column while
+            # lowering the rank by at most one — either way the deficit
+            # shrinks by at most one per event.  Until enough events
+            # have accumulated the system is provably still singular.
+            progress = ((self._equations_seen - stalled_seen)
                         + (stalled_unknowns - unknowns))
             if progress < deficit:
                 return
@@ -571,6 +723,8 @@ class PeelingEngine:
         XOR of its known participants (``acc``).  On full column rank all
         unknowns are recovered at once.
         """
+        if self._bitmatrix:
+            return self._run_inactivation_structured()
         self._ensure_eq_csr()
         unknown_nodes = self._elimination_nodes()
         u = unknown_nodes.size
@@ -582,7 +736,7 @@ class PeelingEngine:
         if rows.size < u:
             # Rank is at most rows.size; at least u - rows.size more
             # equations must arrive before a solve can succeed.
-            self._stall_gate = (u, self._num_equations, u - rows.size)
+            self._stall_gate = (u, self._equations_seen, u - rows.size)
             return False
         # Bit-packed coefficient matrix: one uint64 word per 64 columns.
         words = (u + 63) // 64
@@ -611,7 +765,7 @@ class PeelingEngine:
             self._ml_state = (self._known_generation, rows.size)
             rank = len(self._ml_basis)
             if rank < u:
-                self._stall_gate = (u, self._num_equations, u - rank)
+                self._stall_gate = (u, self._equations_seen, u - rank)
                 return False
             if self._acc is not None:
                 rhs = self._acc[rows].copy()
@@ -631,7 +785,7 @@ class PeelingEngine:
             rhs = self._acc[rows].copy() if self._acc is not None else None
             solved, rank = _gf2_eliminate(mat, u, rhs)
             if solved is None:
-                self._stall_gate = (u, self._num_equations, u - rank)
+                self._stall_gate = (u, self._equations_seen, u - rank)
                 return False
             if self.values is not None:
                 self.values[unknown_nodes] = rhs[solved]
@@ -641,6 +795,285 @@ class PeelingEngine:
         # now-complete layers) so counters stay consistent.
         self._propagate(unknown_nodes)
         return True
+
+    def _st_deferred(self) -> bool:
+        """True while new equations extend a cached stalled decomposition.
+
+        Once the structured finisher has decomposed the stalled system,
+        running peeling waves between elimination retries would reshape
+        the known set and force a full re-decomposition per arrival
+        batch.  Deferring peeling instead — every new equation (degree
+        one included) joins the system and folds straight into the
+        cached dense core — costs nothing observable: the next
+        successful elimination recovers every node either way, at the
+        same packet, and a success immediately propagates.
+        """
+        if self._lazy_peel and self._bitmatrix:
+            return True
+        cache = self._st_cache
+        return (cache is not None
+                and cache["gen"] == self._known_generation)
+
+    def _run_inactivation_structured(self) -> bool:
+        """Inactivation-decode the stalled system on the packed bitmatrix.
+
+        The classic structure (cf. RaptorQ / RFC 6330): peel the residual
+        matrix *structurally* — no payload traffic — inactivating a
+        highest-degree column whenever the ripple dries up, until every
+        column is either a peeling pivot or inactive.  Pivot rows are
+        triangular over the peeled columns, so the system's true rank is
+        exactly ``peeled + rank(dense core)``; a failed solve therefore
+        records the same rank deficit full elimination would, keeping
+        the stall gate exact.  On success only the small dense core over
+        the inactive columns is solved by echelon elimination; every
+        other value falls out of replaying the peel waves, touching each
+        wide payload row once per incidence instead of the dense
+        row-combination traffic a straight Gauss-Jordan pays.
+        """
+        unknown_nodes = self._elimination_nodes()
+        u = unknown_nodes.size
+        if u == 0:
+            return True
+        rows_idx = np.nonzero(
+            self.unknown_count[:self._num_equations] >= 1)[0]
+        nrows = rows_idx.size
+        if nrows < u:
+            # Rank is at most nrows; at least u - nrows more equations
+            # must arrive before a solve can succeed.
+            self._stall_gate = (u, self._equations_seen, u - nrows)
+            return False
+        self._inactivation_runs += 1
+        cache = self._st_cache
+        if (cache is not None and cache["gen"] == self._known_generation
+                and cache["done"] <= nrows):
+            # Known set unchanged since the failed attempt: the old rows
+            # kept their residual shape and new equations only appended,
+            # so the decomposition stands and the retry folds only the
+            # new rows into the dense core.
+            self._st_fold_new(cache, rows_idx)
+        else:
+            cache = self._st_decompose(rows_idx, unknown_nodes)
+            self._st_cache = cache
+        num_inactive = len(cache["inactive"])
+        rank_dense = len(cache["basis"])
+        if rank_dense < num_inactive:
+            self._stall_gate = (u, self._equations_seen,
+                                num_inactive - rank_dense)
+            return False
+        if self._acc is not None:
+            self._st_backsubstitute(cache, rows_idx)
+        self._st_cache = None
+        self._stall_gate = None
+        self._mark_known(unknown_nodes)
+        if self._lazy_peel and bool(np.all(self.known)):
+            # Every node is recovered; nothing is left for peeling to
+            # cascade.  Resolve the remaining row counts wholesale
+            # instead of replaying payload waves over the full system.
+            self.unknown_count[:self._num_equations] = 0
+        else:
+            self._propagate(unknown_nodes)
+        return True
+
+    def _st_decompose(self, rows_idx: np.ndarray,
+                      unknown_nodes: np.ndarray) -> dict:
+        """Structurally peel the residual system into pivots + dense core.
+
+        Rows become python ints over the residual columns; a column
+        leaves the active system exactly once (peeled or inactivated),
+        so every column->rows adjacency list is walked at most once and
+        the whole pass is O(residual edges).  Residual peel waves are
+        one to three rows wide in practice, so a tight python loop beats
+        per-wave numpy dispatch here; the expensive payload traffic is
+        all deferred to :meth:`_st_backsubstitute`, and thanks to
+        deferred peeling (:meth:`_st_deferred`) this decomposition runs
+        once per stall instead of once per arrival batch.
+        """
+        nrows = rows_idx.size
+        resid = self._dyn_rows[rows_idx] & ~self._known_bits
+        bools = np.unpackbits(resid.view(np.uint8),
+                              bitorder="little").reshape(nrows, -1)
+        cnt = _row_popcounts(resid).tolist()
+        c_all, r_all = np.nonzero(bools.T)
+        col_rows: Dict[int, List[int]] = {}
+        if c_all.size:
+            starts, cols_u = _group_sorted(c_all)
+            bounds = np.append(starts, c_all.size)
+            for j, c in enumerate(cols_u.tolist()):
+                col_rows[c] = r_all[bounds[j]:bounds[j + 1]].tolist()
+        # Inactivation order, fixed up front: busiest column first (ties
+        # to the lowest id) over initial degrees — the standard greedy
+        # heuristic, precomputed so the dry-ripple branch only advances
+        # a pointer.  Zero-degree unknowns sort last; they can never
+        # peel, so they always end up inactivated (and undetermined by
+        # the dense core unless new equations name them).
+        degs = np.bincount(c_all, minlength=self.num_nodes)
+        inact_order = unknown_nodes[
+            np.lexsort((unknown_nodes, -degs[unknown_nodes]))].tolist()
+        inact_ptr = 0
+        determined = bytearray(self.num_nodes)
+        raw = resid.tobytes()
+        width = self._words * 8
+        masks = [int.from_bytes(raw[p * width:(p + 1) * width], "little")
+                 for p in range(nrows)]
+        # Substituting a determined column out of row q rewrites q as an
+        # equation over its still-active columns, the inactive columns
+        # in ``row_inact[q]`` and the XOR of the residual right-hand
+        # sides named by ``row_combo[q]`` (bit = position in rows_idx).
+        orig = masks[:]
+        row_inact = [0] * nrows
+        row_combo = [1 << p for p in range(nrows)]
+        is_pivot = [False] * nrows
+        col_expr: Dict[int, Tuple[int, int]] = {}
+        inact_pos: Dict[int, int] = {}
+        inactive: List[int] = []
+        pivots: List[Tuple[int, int]] = []
+        remaining = unknown_nodes.size
+        frontier = [p for p in range(nrows) if cnt[p] == 1]
+        while remaining:
+            if not frontier:
+                # Ripple dry: inactivate the next undetermined column.
+                c = inact_order[inact_ptr]
+                while determined[c]:
+                    inact_ptr += 1
+                    c = inact_order[inact_ptr]
+                determined[c] = 1
+                remaining -= 1
+                expr_i = 1 << len(inactive)
+                inact_pos[c] = len(inactive)
+                inactive.append(c)
+                bitc = 1 << c
+                for q in col_rows.get(c, []):
+                    masks[q] ^= bitc
+                    cnt[q] -= 1
+                    row_inact[q] ^= expr_i
+                    if cnt[q] == 1:
+                        frontier.append(q)
+                continue
+            next_frontier: List[int] = []
+            for p in frontier:
+                if cnt[p] != 1 or is_pivot[p]:
+                    continue
+                c = masks[p].bit_length() - 1
+                is_pivot[p] = True
+                determined[c] = 1
+                remaining -= 1
+                # Peel order is a topological order of the substitution
+                # DAG: every other participant of row p is determined by
+                # an earlier pivot or an inactive column, which is what
+                # lets back-substitution walk ``pivots`` front to back.
+                pivots.append((c, p))
+                expr_i, expr_c = row_inact[p], row_combo[p]
+                col_expr[c] = (expr_i, expr_c)
+                bitc = 1 << c
+                for q in col_rows.get(c, []):
+                    masks[q] ^= bitc
+                    cnt[q] -= 1
+                    if q != p:
+                        row_inact[q] ^= expr_i
+                        row_combo[q] ^= expr_c
+                        if cnt[q] == 1:
+                            next_frontier.append(q)
+            frontier = next_frontier
+        # Non-pivot rows have no active columns left: each is now a
+        # dense equation over the inactive columns.  Echelon-fold them
+        # (with row-combination tracking, cf. _gf2_fold_rows) so the
+        # core's rank — and, on success, each inactive value as one XOR
+        # combination of residual right-hand sides — falls out.
+        basis: Dict[int, Tuple[int, int]] = {}
+        for p in range(nrows):
+            if not is_pivot[p]:
+                _st_fold_dense(basis, row_inact[p], row_combo[p])
+        return {
+            "gen": self._known_generation,
+            "done": nrows,
+            "orig_masks": orig,
+            "col_expr": col_expr,
+            "inact_pos": inact_pos,
+            "inactive": inactive,
+            "pivots": pivots,
+            "basis": basis,
+        }
+
+    def _st_fold_new(self, cache: dict, rows_idx: np.ndarray) -> None:
+        """Fold rows that arrived since the cached decomposition.
+
+        With the known set stable, every column a new equation touches
+        is already determined (peeled or inactive), so the row reduces
+        straight to a dense equation over the inactive columns: XOR the
+        owning pivot rows' expressions for its peeled columns, set the
+        positions of its inactive columns, and fold.
+        """
+        col_expr = cache["col_expr"]
+        inact_pos = cache["inact_pos"]
+        basis = cache["basis"]
+        known = self._known_bits
+        for p in range(cache["done"], rows_idx.size):
+            resid = self._dyn_rows[rows_idx[p]] & ~known
+            ri = rc = 0
+            for c in _bit_indices(int.from_bytes(resid.tobytes(), "little")):
+                expr = col_expr.get(c)
+                if expr is not None:
+                    ri ^= expr[0]
+                    rc ^= expr[1]
+                else:
+                    ri ^= 1 << inact_pos[c]
+            _st_fold_dense(basis, ri, rc ^ (1 << p))
+        cache["done"] = rows_idx.size
+
+    def _st_backsubstitute(self, cache: dict, rows_idx: np.ndarray) -> None:
+        """Recover every residual value from a full-rank decomposition.
+
+        Payloads travel as python big integers: the peel replay and the
+        dense-core combinations are a few thousand XORs of packet-wide
+        values, each a single C-level operation on an int, which beats
+        numpy's per-call dispatch at the one-to-three-row wave widths a
+        residual ripple produces.  One conversion in, one out.
+        """
+        values = self.values
+        width = int(values.shape[1])
+        raw = self._acc[rows_idx].tobytes()
+        rhs = [int.from_bytes(raw[p * width:(p + 1) * width], "little")
+               for p in range(rows_idx.size)]
+        val: Dict[int, int] = {}
+        inactive = cache["inactive"]
+        basis = cache["basis"]
+        if inactive:
+            # Solve the dense core: each basis row's combination field
+            # names the residual right-hand sides whose XOR is the
+            # inactive column's value.
+            combos = [0] * len(inactive)
+            for top in sorted(basis):
+                r, c = basis[top]
+                r ^= 1 << top
+                while r:
+                    low = r & -r
+                    c ^= combos[low.bit_length() - 1]
+                    r ^= low
+                combos[top] = c
+            for t, col in enumerate(inactive):
+                v = 0
+                c = combos[t]
+                while c:
+                    low = c & -c
+                    v ^= rhs[low.bit_length() - 1]
+                    c ^= low
+                val[col] = v
+        # Replay the peel in topological order: a pivot's value is its
+        # row's right-hand side XOR the values of the row's other
+        # residual participants, all determined earlier in the order.
+        orig = cache["orig_masks"]
+        for c, p in cache["pivots"]:
+            v = rhs[p]
+            m = orig[p] ^ (1 << c)
+            while m:
+                low = m & -m
+                v ^= val[low.bit_length() - 1]
+                m ^= low
+            val[c] = v
+        cols = list(val)
+        out = b"".join(val[c].to_bytes(width, "little") for c in cols)
+        values[np.asarray(cols, dtype=np.int64)] = np.frombuffer(
+            out, dtype=np.uint8).reshape(len(cols), width)
 
 
 def gf2_gauss_jordan(mat: np.ndarray, num_cols: int,

@@ -79,11 +79,18 @@ class FountainClient:
         self._complete = False
         self._next_attempt = int(np.ceil((1 + statistical_margin) * code.k))
         self._decode_attempts = 0
+        self._decoder_calls = 0
         if mode is ClientMode.INCREMENTAL:
             self._decoder = incremental_decoder(code,
                                                 payload_size=payload_size)
         else:
             self._decoder = None
+        # When the decoder keeps payload state itself, the client stores
+        # only the ids it has seen — retaining every payload array here
+        # as well would double the receive path's memory footprint.
+        self._retain_payloads = (
+            self._decoder is None
+            or getattr(self._decoder, "values", None) is None)
 
     # -- feeding ---------------------------------------------------------------
 
@@ -98,10 +105,11 @@ class FountainClient:
             return True
         self.total_received += 1
         if index not in self._seen:
-            self._seen[index] = payload
+            self._seen[index] = payload if self._retain_payloads else None
             if self._decoder is not None:
                 # INCREMENTAL mode always has a decoder (the registry
                 # adapts codes without a native one through SetDecoder).
+                self._decoder_calls += 1
                 self._decoder.add_packet(index, payload)
                 if self._decoder.is_complete:
                     self._complete = True
@@ -121,10 +129,10 @@ class FountainClient:
         Matches the sequential semantics exactly: packets arriving after
         completion are neither counted nor decoded, and the reception
         counters at the moment of completion equal what one-at-a-time
-        feeding would have produced.  The guarantee rests on a lower
-        bound — no code can complete with fewer than ``k`` distinct
-        packets — so batches are capped at one less than the distinct
-        packets still needed and the final approach runs per packet.
+        feeding would have produced.  The guarantee rests on
+        :attr:`min_additional` — a provable lower bound on the arrivals
+        still needed — so a chunk of that size can only complete on its
+        *last* packet, exactly where sequential feeding would stop.
 
         Statistical mode keeps the per-packet loop (its decode-attempt
         schedule is defined per arrival and the work per packet is a set
@@ -140,26 +148,29 @@ class FountainClient:
         indices = np.asarray(indices, dtype=np.int64)
         pos = 0
         while pos < indices.size and not self._complete:
-            needed = self.code.k - len(self._seen)
-            if needed <= 1:
+            take = min(self.min_additional, indices.size - pos)
+            if take <= 1:
+                # Single-packet steps keep the scalar ingest path (one
+                # neighbour derivation, not a batch call for one row).
                 self.receive_index(
                     int(indices[pos]),
                     None if payloads is None else payloads[pos])
                 pos += 1
                 continue
-            take = min(needed - 1, indices.size - pos)
             chunk = indices[pos:pos + take]
             self.total_received += take
             rows = []
             for row, index in enumerate(chunk.tolist()):
                 if index not in self._seen:
                     self._seen[index] = (
-                        None if payloads is None else payloads[pos + row])
+                        payloads[pos + row] if self._retain_payloads
+                        and payloads is not None else None)
                     rows.append(row)
             if rows:
                 fresh = chunk[rows]
                 fresh_payloads = (None if payloads is None
                                   else payloads[pos:pos + take][rows])
+                self._decoder_calls += 1
                 self._decoder.add_packets(fresh, fresh_payloads)
                 if self._decoder.is_complete:
                     self._complete = True
@@ -175,6 +186,36 @@ class FountainClient:
     @property
     def distinct_received(self) -> int:
         return len(self._seen)
+
+    @property
+    def min_additional(self) -> int:
+        """Lower bound on further arrivals needed before completion.
+
+        Always at least ``k`` minus the distinct packets seen (no code
+        completes below ``k`` distinct); decoders that can prove a
+        tighter bound (the LT decoder's rank deficit) raise it.  Batch
+        feeders — :meth:`receive_many` and the simulation drivers — cap
+        chunks at this value so no chunk can complete before its final
+        packet, which is what keeps batched reception counters equal to
+        sequential ones.
+        """
+        if self._complete:
+            return 0
+        bound = self.code.k - len(self._seen)
+        if self._decoder is not None:
+            bound = max(bound, getattr(
+                self._decoder, "min_additional_packets", 0))
+        return max(1, bound)
+
+    @property
+    def decoder_calls(self) -> int:
+        """Times the incremental decoder was actually invoked.
+
+        Duplicate ids are filtered out before they reach the decoder, so
+        this stays bounded by the distinct-packet count no matter how
+        many carousel revolutions or mirrored sources repeat an id.
+        """
+        return self._decoder_calls
 
     @property
     def decode_attempts(self) -> int:

@@ -49,6 +49,7 @@ from repro.errors import ProtocolError
 
 __all__ = [
     "EMISSION_LIMIT_FACTOR",
+    "FEED_BATCH",
     "FRAME_DATA",
     "FRAME_MANIFEST",
     "ServeReport",
@@ -63,6 +64,9 @@ __all__ = [
 
 #: emission budget per source packet before a serve is declared stuck.
 EMISSION_LIMIT_FACTOR = 200
+
+#: records per ingest batch for transports without a backlog signal.
+FEED_BATCH = 256
 
 #: frame type carrying one wire packet record.
 FRAME_DATA = 0x01
@@ -152,18 +156,47 @@ class Subscription(ABC):
         after ``timeout`` seconds of silence.
         """
 
+    def record_batches(self, timeout: Optional[float] = None
+                       ) -> Iterator[List[bytes]]:
+        """Records grouped into ingest batches, in arrival order.
+
+        The batch feeding surface: each yielded list becomes one
+        ``receive_records`` call on the session.  The default groups
+        :meth:`records` into fixed-size chunks; transports with a real
+        backlog signal override it — the UDP subscription yields one
+        batch per socket drain, so a poll's whole queue reaches the
+        decoder in a single ingest pass.  Concatenating the batches
+        always reproduces the :meth:`records` stream exactly.
+        """
+        batch: List[bytes] = []
+        for record in self.records(timeout=timeout):
+            batch.append(record)
+            if len(batch) >= FEED_BATCH:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def feed(self, session: Any,
              timeout: Optional[float] = None) -> bool:
         """Drive a receiver session from this feed until it completes.
 
         Returns the session's completeness; stops early on completion,
         at end of stream for finite transports, or on timeout for live
-        ones.
+        ones.  Sessions exposing ``receive_records`` (the
+        :class:`repro.api.ReceiverSession` batch ingest) are driven one
+        batch per call; the per-record path remains for bare sessions.
         """
+        ingest = getattr(session, "receive_records", None)
         if not session.is_complete:
-            for record in self.records(timeout=timeout):
-                if session.receive_record(record):
-                    break
+            if ingest is not None:
+                for batch in self.record_batches(timeout=timeout):
+                    if ingest(batch):
+                        break
+            else:
+                for record in self.records(timeout=timeout):
+                    if session.receive_record(record):
+                        break
         return bool(session.is_complete)
 
     def receive(self, manifest: Optional[dict] = None,

@@ -240,6 +240,77 @@ class UdpSubscription(Subscription):
                     continue
                 yield body
 
+    def _collect(self, datagram: bytes, batch: List[bytes]) -> None:
+        """Parse one datagram's frames into ``batch`` (data bodies only)."""
+        try:
+            frames = list(iter_frames(datagram))
+        except ProtocolError:
+            self.malformed += 1
+            return
+        for frame_type, body in frames:
+            if frame_type == FRAME_MANIFEST:
+                self._learn_manifest(body)
+            elif frame_type == FRAME_DATA:
+                size = self._record_bytes()
+                if size is not None and len(body) != size:
+                    self.malformed += 1
+                    continue
+                batch.append(body)
+
+    def record_batches(self, timeout: Optional[float] = None
+                       ) -> Iterator[List[bytes]]:
+        """One batch per socket drain: everything queued when we poll.
+
+        Blocks for the first datagram of a poll (honouring the silence
+        timeout), then empties the kernel's receive queue without
+        blocking — so a burst that arrived while the decoder was busy
+        becomes a single ingest call instead of one wakeup per packet.
+        Record order and the malformed/size filtering are identical to
+        :meth:`records`.
+        """
+        wait = self.timeout if timeout is None else float(timeout)
+        size = self._record_bytes()
+        batch: List[bytes] = []
+        while self._pending:
+            body = self._pending.pop(0)
+            if size is not None and len(body) != size:
+                self.malformed += 1
+                continue
+            batch.append(body)
+        if batch:
+            yield batch
+        while True:
+            batch = []
+            self.socket.settimeout(wait)
+            try:
+                datagram, _addr = self.socket.recvfrom(65535)
+            except socket.timeout:
+                raise ProtocolError(
+                    f"no datagrams on {self.address[0]}:"
+                    f"{self.address[1]} within {wait:.1f}s — is the "
+                    "sender running (and pointed here)?") from None
+            except OSError:
+                if self._closed:
+                    return
+                raise
+            self._collect(datagram, batch)
+            # Drain whatever else already sits in the kernel queue.
+            self.socket.settimeout(0.0)
+            while True:
+                try:
+                    datagram, _addr = self.socket.recvfrom(65535)
+                except (BlockingIOError, socket.timeout):
+                    break
+                except OSError:
+                    if self._closed:
+                        break
+                    raise
+                self._collect(datagram, batch)
+            if batch:
+                yield batch
+            if self._closed:
+                return
+
 
 class _SenderProtocol(asyncio.DatagramProtocol):
     """Fire-and-forget sender; counts (but survives) socket errors."""

@@ -44,8 +44,51 @@ _LOSS_STREAM = 0x1055
 #: structural-mode chunk size for vectorised loss draws.
 _CHUNK = 4096
 
-#: payloads generated ahead per block in the batched driver's tail.
-_TAIL_PREFETCH = 32
+#: synthesis quantum: payloads generated per block-source call in the
+#: batched driver.  Generation is deterministic and rng-free, so
+#: synthesising ahead of emission is exact; bigger quanta amortise the
+#: per-call neighbour-derivation cost of rateless sources.  Sized so a
+#: block's typical emission count (k plus loss and reception overhead)
+#: fits in one generation call.
+_FEED_QUANTUM = 192
+
+
+class _BlockFeed:
+    """Buffered payload stream over one block source.
+
+    Hands out ``(ids, payloads)`` in exact emission order while
+    generating from the underlying source in :data:`_FEED_QUANTUM`
+    batches.  A rateless source's look-ahead is capped at its remaining
+    id range, so exhaustion raises on the same emission as sequential
+    feeding would.
+    """
+
+    __slots__ = ("source", "ids", "payloads", "pos")
+
+    def __init__(self, source):
+        self.source = source
+        self.ids: Optional[np.ndarray] = None
+        self.payloads: Optional[np.ndarray] = None
+        self.pos = 0
+
+    def take(self, count: int):
+        buffered = 0 if self.ids is None else len(self.ids) - self.pos
+        if buffered >= count:
+            pos = self.pos
+            self.pos = pos + count
+            return (self.ids[pos:pos + count],
+                    self.payloads[pos:pos + count])
+        want = _FEED_QUANTUM
+        remaining = getattr(self.source, "ids_remaining", None)
+        if remaining is not None:
+            want = min(want, remaining)
+        want = max(want, count - buffered)
+        ids, payloads = self.source.payload_batch(want)
+        if buffered:
+            ids = np.concatenate([self.ids[self.pos:], ids])
+            payloads = np.concatenate([self.payloads[self.pos:], payloads])
+        self.ids, self.payloads, self.pos = ids, payloads, count
+        return ids[:count], payloads[:count]
 
 
 @dataclass(frozen=True)
@@ -95,44 +138,20 @@ def _drive_payload_batched(plan: BlockPlan,
     Result-identical to feeding ``server.packets(limit)`` through the
     channel one packet at a time: the loss model draws one delivery per
     emission in emission order, every emitted slot advances its block
-    source (dropped or not), and chunks are capped at one less than the
-    distinct packets the transfer still needs — no block can complete
-    mid-chunk, so reception counters at completion match the sequential
-    run exactly (the final approach runs per packet).
+    source (dropped or not), and chunks are capped at the provable
+    lower bound on packets the transfer still needs
+    (:meth:`~repro.transfer.client.TransferClient.block_min_additional`
+    summed over incomplete blocks) — the transfer cannot complete
+    before a chunk's final slot, so reception counters at completion
+    match the sequential run exactly.
     """
     slots = make_schedule(schedule, plan.block_ks)
-    block_ks = plan.block_ks
-    sources = server.block_sources
+    feeds = [_BlockFeed(source) for source in server.block_sources]
     sent = 0
-    # Per-block payload buffers for the one-packet-at-a-time tail (the
-    # deficit never grows, so once the loop drops to per-packet steps it
-    # stays there and buffered look-ahead cannot leak into a chunk).
-    # Payload generation is deterministic and consumes no rng, so
-    # generating ahead of emission is exact; a rateless source's
-    # look-ahead is capped at its remaining id range so exhaustion
-    # raises on the same emission as sequential feeding would.
-    tail_bufs: Dict[int, List] = {}
     while not client.is_complete and sent < limit:
-        deficit = sum(max(1, block_ks[b] - client.block_distinct(b))
+        deficit = sum(client.block_min_additional(b)
                       for b in client.incomplete_blocks)
-        chunk = min(deficit - 1, limit - sent, _CHUNK)
-        if chunk <= 0:
-            block = next(slots)
-            delivered = bool(channel.delivery_mask(1)[0])
-            buf = tail_bufs.get(block)
-            if buf is None or buf[2] >= len(buf[0]):
-                source = sources[block]
-                want = _TAIL_PREFETCH
-                remaining = getattr(source, "ids_remaining", None)
-                if remaining is not None:
-                    want = max(1, min(want, remaining))
-                tail_bufs[block] = buf = [*source.payload_batch(want), 0]
-            pos = buf[2]
-            buf[2] = pos + 1
-            sent += 1
-            if delivered:
-                client.receive_index(block, int(buf[0][pos]), buf[1][pos])
-            continue
+        chunk = min(deficit, limit - sent, _CHUNK)
         blocks = np.fromiter(islice(slots, chunk), dtype=np.int64,
                              count=chunk)
         mask = channel.delivery_mask(chunk)
@@ -141,7 +160,7 @@ def _drive_payload_batched(plan: BlockPlan,
             sel = blocks == b
             # Every emitted slot advances the block's stream position,
             # delivered or not; only survivors reach the client.
-            ids, pays = sources[int(b)].payload_batch(int(sel.sum()))
+            ids, pays = feeds[int(b)].take(int(sel.sum()))
             delivered = mask[sel]
             if delivered.any():
                 client.receive_many(int(b), ids[delivered], pays[delivered])

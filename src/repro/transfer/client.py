@@ -113,6 +113,21 @@ class TransferClient:
         client = self._clients[block]
         return 0 if client is None else client.distinct_received
 
+    def block_min_additional(self, block: int) -> int:
+        """Lower bound on further packets ``block`` needs to complete.
+
+        Zero once the block has decoded; before its first packet the
+        bound is the block's ``k``.  Batch drivers sum this over the
+        incomplete blocks to size delivery chunks that provably cannot
+        complete the transfer before their final packet.
+        """
+        if block not in self._incomplete:
+            return 0
+        client = self._clients[block]
+        if client is None:
+            return self.codec.plan.spec(block).k
+        return client.min_additional
+
     # -- progress --------------------------------------------------------------
 
     @property

@@ -55,13 +55,18 @@ def loss_realisation(count: int, loss: float, seed: int) -> np.ndarray:
 
 def run_roundtrip(backend: str, spec: str, k: int, payload_size: int,
                   seed: int, loss: float = 0.3,
-                  emissions: Optional[int] = None) -> RoundTrip:
+                  emissions: Optional[int] = None,
+                  batch_size: Optional[int] = None) -> RoundTrip:
     """One full round trip under ``backend``; see :class:`RoundTrip`.
 
     Fixed-rate families emit their whole ``(n, P)`` encoding; rateless
     families mint ``emissions`` droplets (default ``3 * k``).  Survivors
     of the shared loss realisation feed the family's incremental decoder
-    one packet at a time until it reports completion.
+    one packet at a time until it reports completion — or, with a
+    ``batch_size``, through ``add_packets`` in chunks of that size (the
+    batched intake path).  A batched run consumes whole chunks, so its
+    ``packets_fed`` may overshoot the sequential completion point by up
+    to ``batch_size - 1``; recovered bytes are identical either way.
     """
     source = make_source(k, payload_size, seed)
     rateless = REGISTRY.is_rateless(spec)
@@ -76,13 +81,22 @@ def run_roundtrip(backend: str, spec: str, k: int, payload_size: int,
         mask = loss_realisation(encoded.shape[0], loss, seed)
         decoder = incremental_decoder(code, payload_size=payload_size)
         fed = 0
-        for index in np.nonzero(mask)[0]:
-            fed += 1
-            # add_packet's return value means "was new" for some
-            # decoders; is_complete is the portable completion signal.
-            decoder.add_packet(int(index), encoded[index])
-            if decoder.is_complete:
-                break
+        survivors = np.nonzero(mask)[0]
+        if batch_size is None:
+            for index in survivors:
+                fed += 1
+                # add_packet's return value means "was new" for some
+                # decoders; is_complete is the portable completion signal.
+                decoder.add_packet(int(index), encoded[index])
+                if decoder.is_complete:
+                    break
+        else:
+            for start in range(0, survivors.size, batch_size):
+                chunk = survivors[start:start + batch_size]
+                fed += int(chunk.size)
+                decoder.add_packets(chunk.tolist(), encoded[chunk])
+                if decoder.is_complete:
+                    break
         complete = bool(decoder.is_complete)
         recovered = decoder.source_data().tobytes() if complete else None
     return RoundTrip(encoded=encoded.tobytes(), packets_fed=fed,
@@ -110,3 +124,36 @@ def assert_backends_identical(spec: str, k: int, payload_size: int,
     assert vectorized.recovered == reference.recovered, \
         f"{spec} k={k} P={payload_size} seed={seed}: recovered bytes differ"
     return reference
+
+
+def assert_batched_identical(spec: str, k: int, payload_size: int,
+                             seed: int, loss: float = 0.3,
+                             batch_sizes: tuple = (1, 3, 17, 256),
+                             emissions: Optional[int] = None) -> RoundTrip:
+    """Batched intake recovers the exact bytes of one-at-a-time feeding.
+
+    Runs the per-packet reference round trip once, then replays the
+    same survivor stream through ``add_packets`` under both backends
+    for every batch size: completion outcome and recovered bytes must
+    match, and a batch can only overshoot the sequential completion
+    point by the slack inside its final chunk.
+    """
+    sequential = run_roundtrip("reference", spec, k, payload_size, seed,
+                               loss=loss, emissions=emissions)
+    for backend in ("reference", "vectorized"):
+        for batch_size in batch_sizes:
+            batched = run_roundtrip(backend, spec, k, payload_size, seed,
+                                    loss=loss, emissions=emissions,
+                                    batch_size=batch_size)
+            label = (f"{spec} k={k} seed={seed} backend={backend} "
+                     f"batch={batch_size}")
+            assert batched.complete == sequential.complete, \
+                f"{label}: decode outcome differs from sequential"
+            assert batched.recovered == sequential.recovered, \
+                f"{label}: recovered bytes differ from sequential"
+            if sequential.complete:
+                slack = batch_size - 1
+                assert (sequential.packets_fed <= batched.packets_fed
+                        <= sequential.packets_fed + slack), \
+                    f"{label}: completion point outside chunk slack"
+    return sequential

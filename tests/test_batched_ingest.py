@@ -1,0 +1,216 @@
+"""Batched decode intake: equivalence, exactness, and the finisher.
+
+The batch ingest path (droplet blocks through ``add_packets`` /
+``add_equations`` / ``ReceiverSession.receive_records``) promises to be
+*observationally equivalent* to one-at-a-time feeding: identical
+recovered bytes, and — through the provable packet-deficit chunking —
+identical reception counters at the moment of completion.  These tests
+pin both halves of the promise, plus the GF(2) structured inactivation
+finisher on hand-built stalled systems where pure peeling provably
+cannot start.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.codes.backend import use_backend
+from repro.codes.peeling import PeelingEngine
+from repro.codes.registry import build_code
+from repro.fountain.client import FountainClient
+
+from tests._oracles import assert_batched_identical, make_source
+
+# -- batched vs sequential intake, all families ------------------------------
+
+#: (spec, k) pairs spanning the decoder implementations: the LT batch
+#: path, the Tornado engine, and the registry's generic SetDecoder.
+BATCH_CASES = [
+    ("lt", 2),
+    ("lt", 48),
+    ("lt:c=0.05,delta=0.5", 100),
+    ("tornado-b", 32),
+    ("tornado-a", 129),
+    ("rs", 16),
+    ("interleaved", 16),
+]
+
+
+@pytest.mark.parametrize("seed", [1, 12])
+@pytest.mark.parametrize("spec,k", BATCH_CASES,
+                         ids=[f"{s}-k{k}" for s, k in BATCH_CASES])
+def test_batched_intake_matches_sequential(spec, k, seed):
+    run = assert_batched_identical(spec, k, payload_size=24, seed=seed)
+    if run.complete:
+        assert run.recovered == make_source(k, 24, seed).tobytes()
+
+
+# -- property: arrival order and batch partition are irrelevant --------------
+
+_FILE_SIZE = 8 * 1024
+_PACKET = 128
+_BLOCK_PACKETS = 16
+
+
+def _stream_records(code_spec):
+    """A deterministic sender stream (3x the source count) as records."""
+    rng = np.random.default_rng(0xFEED)
+    data = rng.integers(0, 256, size=_FILE_SIZE, dtype=np.uint8).tobytes()
+    sender = api.SenderSession(data, code=code_spec, packet_size=_PACKET,
+                               block_size=_BLOCK_PACKETS * _PACKET, seed=21)
+    records = [packet.to_bytes()
+               for packet in sender.packets(3 * sender.total_k)]
+    return data, sender.manifest(), records
+
+
+_LT_STREAM = _stream_records("lt")
+
+
+@settings(max_examples=10, deadline=None)
+@given(order_seed=st.integers(0, 2 ** 32 - 1),
+       batch_sizes=st.lists(st.integers(1, 64), min_size=1, max_size=8))
+def test_any_order_and_batching_is_counter_exact(order_seed, batch_sizes):
+    """Shuffled arrivals, arbitrary batch partition: bytes and counters match.
+
+    The batched session must consume the same packets as per-record
+    feeding of the identical shuffled stream (the deficit chunking makes
+    the counters *equal*, which subsumes the same-or-fewer guarantee)
+    and reconstruct the identical object bytes.
+    """
+    data, manifest, records = _LT_STREAM
+    order = np.random.default_rng(order_seed).permutation(len(records))
+    shuffled = [records[i] for i in order]
+
+    sequential = api.ReceiverSession(manifest)
+    for record in shuffled:
+        if sequential.receive_record(record):
+            break
+    assert sequential.is_complete
+
+    batched = api.ReceiverSession(manifest)
+    pos = cursor = 0
+    while pos < len(shuffled) and not batched.is_complete:
+        take = batch_sizes[cursor % len(batch_sizes)]
+        cursor += 1
+        batched.receive_records(shuffled[pos:pos + take])
+        pos += take
+    assert batched.is_complete
+    assert batched.data() == sequential.data() == data
+    assert batched.packets_used == sequential.packets_used
+    assert batched.stats() == sequential.stats()
+
+
+# -- the inactivation finisher on hand-built stalled systems -----------------
+
+def _xor_rows(source, nodes):
+    out = source[nodes[0]].copy()
+    for node in nodes[1:]:
+        out ^= source[node]
+    return out
+
+
+def _feed_system(engine, source, rows):
+    for nodes in rows:
+        engine.add_equation(np.asarray(nodes, dtype=np.int64),
+                            _xor_rows(source, nodes))
+
+
+#: every row has degree >= 2, so the peeling ripple can never start;
+#: the 4-cycle spans rank 3 and the odd-weight row closes rank 4.
+_STALLED_FULL_RANK = [[0, 1], [1, 2], [2, 3], [0, 3], [0, 1, 2]]
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_finisher_solves_fully_stalled_system(backend):
+    source = make_source(4, 8, seed=5)
+    with use_backend(backend):
+        engine = PeelingEngine(4, payload_size=8, inactivation_limit=4)
+        _feed_system(engine, source, _STALLED_FULL_RANK)
+        assert not engine.is_complete  # no ripple ever started
+        engine.maybe_inactivate()
+        assert engine.is_complete
+        assert np.array_equal(engine.source_data(), source)
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_finisher_failed_attempt_then_closing_row(backend):
+    """A singular stall records its deficit; the closing row finishes it.
+
+    ``{0,1},{1,2},{0,2}`` is a dependent cycle (rank 2), ``{2,3}``
+    brings rank 3 of 4 — the attempt must fail without recovering
+    anything, and the odd-weight row ``{0,1,2}`` (independent of the
+    all-even span) must complete the decode on arrival.
+    """
+    source = make_source(4, 8, seed=9)
+    with use_backend(backend):
+        engine = PeelingEngine(4, payload_size=8, inactivation_limit=4)
+        _feed_system(engine, source, [[0, 1], [1, 2], [0, 2], [2, 3]])
+        engine.maybe_inactivate()
+        assert not engine.is_complete
+        _feed_system(engine, source, [[0, 1, 2]])
+        engine.maybe_inactivate()
+        assert engine.is_complete
+        assert np.array_equal(engine.source_data(), source)
+
+
+def test_finisher_solves_batch_entered_system():
+    """The stalled system arriving as one add_equations batch decodes too."""
+    source = make_source(4, 8, seed=5)
+    rows = _STALLED_FULL_RANK
+    indptr = np.cumsum([0] + [len(r) for r in rows]).astype(np.int64)
+    flat = np.concatenate([np.asarray(r, dtype=np.int64) for r in rows])
+    rhs = np.stack([_xor_rows(source, r) for r in rows])
+    engine = PeelingEngine(4, payload_size=8, inactivation_limit=4)
+    engine.add_equations(indptr, flat, rhs)
+    engine.maybe_inactivate()
+    assert engine.is_complete
+    assert np.array_equal(engine.source_data(), source)
+
+
+def test_finisher_respects_inactivation_limit():
+    """With the fallback disabled the stalled system must stay stalled."""
+    source = make_source(4, 8, seed=5)
+    engine = PeelingEngine(4, payload_size=8, inactivation_limit=0)
+    _feed_system(engine, source, _STALLED_FULL_RANK)
+    engine.maybe_inactivate()
+    assert not engine.is_complete
+
+
+# -- duplicate droplets are filtered before the decoder ----------------------
+
+def test_duplicate_droplet_ids_never_reach_decoder():
+    """Repeats cost a set lookup, not a decoder call.
+
+    Every droplet id is delivered three times (mirrored-server style);
+    the client's decoder must be invoked at most once per distinct id,
+    through both the scalar and the batched receive paths.
+    """
+    k = 24
+    source = make_source(k, 16, seed=2)
+    code = build_code("lt", k, seed=2)
+    encoded = code.encode(source, 4 * k)
+
+    scalar = FountainClient(code, payload_size=16)
+    for index in range(encoded.shape[0]):
+        for _ in range(3):
+            if scalar.receive_index(index, encoded[index]):
+                break
+        if scalar.is_complete:
+            break
+    assert scalar.is_complete
+    distinct = scalar.distinct_received
+    assert scalar.decoder_calls == distinct
+    assert scalar.total_received > distinct
+    assert scalar._decoder.packets_added == distinct
+    assert scalar._decoder.duplicates_seen == 0
+
+    batched = FountainClient(code, payload_size=16)
+    ids = np.repeat(np.arange(encoded.shape[0]), 3)
+    batched.receive_many(ids, encoded[ids])
+    assert batched.is_complete
+    # One decoder call per deficit chunk, never one per duplicate.
+    assert batched.decoder_calls <= batched.distinct_received
+    assert batched._decoder.packets_added == batched.distinct_received
+    assert np.array_equal(batched.source_data(), source)

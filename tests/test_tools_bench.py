@@ -83,6 +83,16 @@ class TestMetricRules:
         assert check_bench.compare_metric("seconds", 1.0, "fast") \
             is not None
 
+    def test_batched_ingest_speedup_has_absolute_floor(self):
+        # Below the 4x floor fails even when it beats the baseline.
+        assert check_bench.compare_metric(
+            "batched_ingest_speedup", 3.0, 3.5) is not None
+        assert check_bench.compare_metric(
+            "batched_ingest_speedup", 6.5, 4.2) is None
+        # The relative factor still guards collapse above the floor.
+        assert check_bench.compare_metric(
+            "batched_ingest_speedup", 12.0, 5.0) is not None
+
 
 class TestCompare:
     def test_identical_passes(self, tmp_path, capsys):

@@ -14,6 +14,9 @@ baselines, metric by metric, with per-metric tolerance rules:
 * *timing metrics* (seconds, throughput, packets/receivers per second)
   gate only gross collapses (a generous worse-direction factor), since
   CI hardware wobbles;
+* *floored metrics* (the batched-ingest speedup) additionally carry an
+  absolute minimum that fails regardless of the baseline — same-machine
+  ratios don't wobble with hardware, so the win itself is the contract;
 * a case or metric present in the baseline but missing from the fresh
   run is a regression (coverage must not silently shrink); new cases
   and metrics are reported but pass.
@@ -57,6 +60,10 @@ METRIC_RULES: List[Tuple[str, str, Dict[str, float]]] = [
     (r"(seconds|elapsed|_ms$|_s$)", "lower", {"factor": 4.0}),
     (r"(throughput|mbps|per_sec|per_second|goodput|pkt_s|pps)",
      "higher", {"factor": 4.0}),
+    # The batched-intake headline: same-machine ratio with an absolute
+    # floor — vectorized bulk ingest must hold >= 4x the reference
+    # scalar path on LT decode, regardless of what the baseline says.
+    (r"batched_ingest_speedup", "higher", {"factor": 2.0, "floor": 4.0}),
     # vectorized-over-reference ratios: same-machine measurements, so a
     # tighter factor locks the vectorization win in against backsliding.
     (r"speedup", "higher", {"factor": 2.0}),
@@ -111,6 +118,9 @@ def compare_metric(metric: str, baseline: Any, current: Any
         return None
     if not isinstance(current, (int, float)) or isinstance(current, bool):
         return f"baseline is numeric ({baseline!r}), current is {current!r}"
+    if "floor" in rule and current < rule["floor"]:
+        return (f"{current} is below the absolute floor of "
+                f"{rule['floor']:g} (hard perf gate)")
     if "factor" in rule:
         factor = rule["factor"]
         slack = rule.get("abs_tol", 0.0)
