@@ -31,6 +31,11 @@ RESULTS = BenchRecorder("BENCH_swarm.json")
 CASES = [
     ("flash_crowd.json", 20000, 8, 0.05),
     ("mobile_traces.json", 4000, 10, 0.08),
+    # The Raptor leg: the identical trace population as mobile-traces,
+    # code swapped for the precode+LT concatenation.  Its overhead_p99
+    # must undercut the LT case's overhead_p50 (the constant-overhead
+    # claim) — locked cross-case by tools/check_bench.py.
+    ("raptor_traces.json", 4000, 10, 0.08),
 ]
 
 

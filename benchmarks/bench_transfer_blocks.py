@@ -57,7 +57,7 @@ def _run_pipeline(family, block_packets, schedule="interleave"):
     return result, elapsed
 
 
-@pytest.mark.parametrize("family", ["tornado-b", "lt"])
+@pytest.mark.parametrize("family", ["tornado-b", "lt", "raptor"])
 @pytest.mark.parametrize("block_packets", BLOCK_PACKETS,
                          ids=[f"bk{b}" for b in BLOCK_PACKETS])
 def test_transfer_block_size_sweep(benchmark, family, block_packets):
@@ -118,7 +118,7 @@ def _raw_codec_rates(family, backend):
     return block_bytes / encode_s / 1e6, block_bytes / decode_s / 1e6
 
 
-@pytest.mark.parametrize("family", ["tornado-b", "lt", "rs"])
+@pytest.mark.parametrize("family", ["tornado-b", "lt", "rs", "raptor"])
 def test_raw_codec_throughput(benchmark, family):
     """Raw encode/decode MB/s per backend, and the vectorized speedup."""
 

@@ -53,6 +53,7 @@ from repro.codes import (
     ErasureCode,
     InterleavedCode,
     LTCode,
+    RaptorCode,
     ReedSolomonCode,
     TornadoCode,
     cauchy_code,
@@ -96,6 +97,7 @@ __all__ = [
     "ReedSolomonCode",
     "TornadoCode",
     "LTCode",
+    "RaptorCode",
     "cauchy_code",
     "vandermonde_code",
     "tornado_a",

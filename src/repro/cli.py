@@ -567,7 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("output", help="directory for stream.pkt + manifest")
     send.add_argument("--code", default="tornado-b",
                       help="per-block code spec (see `repro codes list`), "
-                           "e.g. tornado-b, lt, lt:c=0.05,delta=0.5, rs")
+                           "e.g. tornado-b, lt, raptor:eps=0.05, rs")
     send.add_argument("--packet-size", type=int, default=1024)
     send.add_argument("--block-size", type=int, default=256 * 1024,
                       help="bytes per block (each block gets its own code)")

@@ -21,6 +21,11 @@ Module index
   generated on the fly, forever — no stretch-factor ceiling.  Unlike the
   fixed-rate codes above, an :class:`~repro.codes.lt.LTCode` has no ``n``;
   packet indices are unbounded droplet ids.
+* :mod:`repro.codes.raptor` — the Raptor concatenation: a high-rate
+  precode (LDPC parity + dense half-weight checks) under a weakened
+  soliton fountain, pre-solved so droplet ids below ``k`` emit source
+  packets verbatim — constant reception overhead where plain LT pays a
+  log-tail.
 * :mod:`repro.codes.interleaved` — the interleaved block-code baseline of
   Section 6 (Nonnenmacher/Biersack/Towsley-style).
 * :mod:`repro.codes.registry` — the central code registry: spec-string
@@ -38,6 +43,7 @@ from repro.codes.reed_solomon import ReedSolomonCode, vandermonde_code, cauchy_c
 from repro.codes.interleaved import InterleavedCode
 from repro.codes.tornado import TornadoCode, tornado_a, tornado_b
 from repro.codes.lt import LTCode, ideal_soliton, robust_soliton
+from repro.codes.raptor import RaptorCode
 from repro.codes.registry import (
     REGISTRY,
     CodeSpec,
@@ -66,6 +72,7 @@ __all__ = [
     "LTCode",
     "ideal_soliton",
     "robust_soliton",
+    "RaptorCode",
     "REGISTRY",
     "CodeSpec",
     "ErasureEncoder",

@@ -1,0 +1,314 @@
+"""Two-stage Raptor decoder on the shared peeling engine.
+
+One :class:`~repro.codes.peeling.PeelingEngine` instance solves the
+joint system: the engine's nodes are the ``k'`` intermediates and two
+kinds of equations populate it:
+
+* the ``r`` **precode constraints** — sparse LDPC checks and the
+  half-density tail-insurance checks, each ``{parity} ∪ neighbours``
+  with a zero right-hand side — installed up front at construction,
+  before any droplet arrives, through the same batched
+  :meth:`~repro.codes.peeling.PeelingEngine.add_equations` ingest the
+  droplets use.  Feeding them as (zero-rhs) dynamic rows rather than
+  through ``load_static_equations`` keeps the engine on its packed
+  bitmatrix fast path — wave peeling, lazy decode and the structured
+  GF(2) inactivation finisher all operate on the one dynamic store.
+* received **droplets** — every external id maps through the
+  geometry's systematic index to an internal droplet row (ESI), and
+  the row's weakened-distribution neighbour set regenerates locally
+  from the shared spec, exactly like an LT droplet.  Systematic ids
+  (< ``k``) are no different structurally; their payloads just happen
+  to be source packets verbatim, which the decoder additionally banks
+  in a side cache so a loss-free receiver completes without touching
+  the solver at all.
+
+Because every droplet row is drawn from the same distribution no
+matter which ids were lost, the engine always faces the
+constraints-plus-random-rows Raptor ensemble; peeling plus the
+inactivation finisher over it is maximum-likelihood decoding of the
+concatenated code, and completion lands on the first droplet that
+brings the matrix to full rank over the ``k'`` intermediates.  The
+source packets are then one capped-degree re-encode away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set
+
+import numpy as np
+
+from repro.codes.lt.encoder import LTEncoder
+from repro.codes.peeling import PeelingEngine
+from repro.codes.raptor.precode import RaptorGeometry
+from repro.errors import DecodeFailure, ParameterError
+
+__all__ = ["RaptorDecoder"]
+
+
+class RaptorDecoder(PeelingEngine):
+    """Incremental systematic-droplet decoder over a :class:`RaptorGeometry`.
+
+    Parameters
+    ----------
+    geometry:
+        The shared geometry (precode CSR, systematic index, droplet
+        spec).
+    payload_size:
+        Droplet payload length in bytes; ``None`` selects structural
+        mode (the decoder then only answers *when* decoding completes).
+    inactivation_limit:
+        Stall threshold for the GF(2) fallback; ``None`` (default)
+        allows it at any residual size — maximum-likelihood decoding of
+        the concatenated system, the constant-overhead operating point.
+    """
+
+    def __init__(self, geometry: RaptorGeometry,
+                 payload_size: Optional[int] = None,
+                 inactivation_limit: Optional[int] = None):
+        self.geometry = geometry
+        self.spec = geometry.spec
+        if inactivation_limit is None:
+            inactivation_limit = geometry.intermediate_count
+        super().__init__(geometry.intermediate_count,
+                         payload_size=payload_size,
+                         source_count=geometry.intermediate_count,
+                         inactivation_limit=inactivation_limit)
+        # Same lazy discipline as the LT decoder: with the finisher able
+        # to take on the whole block, droplets accumulate as packed rows
+        # and one structured elimination recovers everything at the
+        # first full-rank packet.
+        self._lazy_peel = (self._bitmatrix and
+                           self.inactivation_limit
+                           >= geometry.intermediate_count)
+        self._droplet_ids: Set[int] = set()
+        self._packets_added = 0
+        self._duplicates = 0
+        self._redundant = 0
+        self._sys_mask = np.zeros(geometry.k, dtype=bool)
+        self._sys_payloads: Optional[np.ndarray] = None
+        if payload_size is not None:
+            self._sys_payloads = np.zeros((geometry.k, payload_size),
+                                          dtype=np.uint8)
+        self._install_constraints()
+
+    def _install_constraints(self) -> None:
+        """Pre-install the precode rows as zero-rhs equations.
+
+        They count as equation *arrivals* (rank accounting), not as
+        received droplets — reception statistics start at zero.
+        """
+        indptr, flat = self.geometry.constraint_rows()
+        rhs = None
+        if self.values is not None:
+            rhs = np.zeros((indptr.size - 1, self.payload_size),
+                           dtype=np.uint8)
+        self.add_equations(indptr, flat, rhs)
+
+    # -- public state ----------------------------------------------------------
+
+    @property
+    def packets_added(self) -> int:
+        """Distinct droplets fed in so far (precode rows excluded)."""
+        return self._packets_added
+
+    @property
+    def duplicates_seen(self) -> int:
+        """Droplets fed in more than once (same droplet id)."""
+        return self._duplicates
+
+    @property
+    def redundant_droplets(self) -> int:
+        """Distinct droplets that carried no new information on arrival."""
+        return self._redundant
+
+    @property
+    def _engine_complete(self) -> bool:
+        """Joint system solved — every intermediate known."""
+        return self._source_known >= self.source_count
+
+    @property
+    def is_complete(self) -> bool:
+        """Source recoverable — the system is solved, or every
+        systematic packet arrived verbatim (the loss-free fast path)."""
+        return (self._engine_complete
+                or bool(self._sys_mask.all()))
+
+    @property
+    def source_known_count(self) -> int:
+        """How many source packets are recoverable right now."""
+        if self.is_complete:
+            return self.geometry.k
+        return int(np.count_nonzero(self._sys_mask))
+
+    @property
+    def min_additional_packets(self) -> int:
+        """Provable lower bound on further droplets needed to complete.
+
+        The same two rank bounds as the LT decoder (unknowns minus
+        active rows; the last failed elimination's deficit less one per
+        arrival since), with the precode constraints already inside the
+        system: fresh off construction the bound is ``k' - r = k``,
+        exactly the source size.  The systematic fast path never beats
+        it — each banked packet is also one engine row.
+        """
+        if self.is_complete:
+            return 0
+        unknowns = self.num_nodes - int(np.count_nonzero(self.known))
+        rows = int(np.count_nonzero(
+            self.unknown_count[:self._num_equations] >= 1))
+        bound = max(1, unknowns - rows)
+        gate = self._stall_gate
+        if gate is not None:
+            _, stalled_seen, deficit = gate
+            bound = max(bound,
+                        deficit - (self._equations_seen - stalled_seen))
+        return bound
+
+    def missing_source_indices(self) -> np.ndarray:
+        """Source packet ids not yet recoverable."""
+        if self.is_complete:
+            return np.empty(0, dtype=np.int64)
+        return np.nonzero(~self._sys_mask)[0].astype(np.int64)
+
+    def source_data(self) -> np.ndarray:
+        """The reconstructed ``(k, P)`` source block (payload mode).
+
+        Either straight from the systematic cache (all ``k`` source
+        packets arrived verbatim), or by re-encoding the solved
+        intermediates at the systematic ESIs — one capped-degree XOR
+        pass.  Cached verbatim packets always win over re-encoded rows,
+        keeping the ids-below-``k`` round trip byte-exact by
+        construction rather than by arithmetic.
+        """
+        if self.values is None:
+            raise ParameterError("structural engine holds no payloads")
+        assert self._sys_payloads is not None
+        if self._sys_mask.all():
+            return self._sys_payloads.copy()
+        if not self._engine_complete:
+            raise DecodeFailure(
+                "source not fully recovered",
+                missing=self.geometry.k - self.source_known_count)
+        out = LTEncoder(self.spec, self.values).payload_block(
+            self.geometry.systematic_esis)
+        out[self._sys_mask] = self._sys_payloads[self._sys_mask]
+        return out
+
+    # -- systematic id mapping -------------------------------------------------
+
+    def _neighbours(self, droplet_id: int) -> np.ndarray:
+        """Participants of droplet ``droplet_id``'s equation."""
+        esi = self.geometry.internal_esis(
+            np.asarray([droplet_id], dtype=np.int64))
+        return self.spec.neighbours(int(esi[0]))
+
+    def _neighbour_block(self, ids: np.ndarray):
+        """CSR neighbour sets for an external droplet id batch."""
+        flat, indptr = self.spec.neighbour_block(
+            self.geometry.internal_esis(ids))
+        return flat, indptr
+
+    def _bank_systematic(self, index: int,
+                         payload: Optional[np.ndarray]) -> None:
+        """Stash a verbatim source packet for the loss-free fast path."""
+        if index < self.geometry.k:
+            self._sys_mask[index] = True
+            if self._sys_payloads is not None and payload is not None:
+                self._sys_payloads[index] = payload
+
+    # -- feeding droplets ------------------------------------------------------
+
+    def add_packet(self, index: int,
+                   payload: Optional[np.ndarray] = None) -> bool:
+        """Feed droplet ``index``; returns True when it was a new droplet."""
+        if index < 0:
+            raise ParameterError("droplet id must be >= 0")
+        if index in self._droplet_ids:
+            self._duplicates += 1
+            return False
+        if self.values is not None and payload is None:
+            raise ParameterError("payload decoder requires droplet payloads")
+        self._droplet_ids.add(int(index))
+        self._packets_added += 1
+        self._bank_systematic(int(index), payload)
+        contributed = self.add_equation(self._neighbours(index), payload)
+        if not contributed:
+            self._redundant += 1
+        self.maybe_inactivate()
+        return True
+
+    def add_packets(self, indices: Sequence[int],
+                    payloads: Optional[np.ndarray] = None) -> int:
+        """Feed a batch of droplets; returns the number of new droplet ids.
+
+        Mirrors the LT decoder: the vectorized backend turns the whole
+        batch into one :meth:`add_equations` call (all rows through one
+        ``neighbour_block`` pass over the mapped ESIs) and considers
+        the inactivation fallback once, after the batch.
+        """
+        if self._vectorized:
+            return self._add_packets_batch(indices, payloads)
+        fresh = 0
+        for row, index in enumerate(indices):
+            index = int(index)
+            if index < 0:
+                raise ParameterError("droplet id must be >= 0")
+            if index in self._droplet_ids:
+                self._duplicates += 1
+                continue
+            if self.values is not None and payloads is None:
+                raise ParameterError(
+                    "payload decoder requires droplet payloads")
+            self._droplet_ids.add(index)
+            self._packets_added += 1
+            fresh += 1
+            payload = None if payloads is None else payloads[row]
+            self._bank_systematic(index, payload)
+            if self.is_complete:
+                self._redundant += 1
+                continue
+            if not self.add_equation(self._neighbours(index), payload):
+                self._redundant += 1
+        self.maybe_inactivate()
+        return fresh
+
+    def _add_packets_batch(self, indices: Sequence[int],
+                           payloads: Optional[np.ndarray]) -> int:
+        """Vectorized :meth:`add_packets`: one equation batch per call."""
+        fresh_rows = []
+        for row, index in enumerate(indices):
+            index = int(index)
+            if index < 0:
+                raise ParameterError("droplet id must be >= 0")
+            if index in self._droplet_ids:
+                self._duplicates += 1
+                continue
+            if self.values is not None and payloads is None:
+                raise ParameterError(
+                    "payload decoder requires droplet payloads")
+            self._droplet_ids.add(index)
+            self._packets_added += 1
+            fresh_rows.append((row, index))
+        if not fresh_rows:
+            return 0
+        rows = np.asarray([r for r, _ in fresh_rows], dtype=np.int64)
+        ids = np.asarray([i for _, i in fresh_rows], dtype=np.int64)
+        systematic = ids < self.geometry.k
+        if systematic.any():
+            self._sys_mask[ids[systematic]] = True
+            if self._sys_payloads is not None and payloads is not None:
+                block = np.asarray(payloads, dtype=np.uint8)
+                self._sys_payloads[ids[systematic]] = (
+                    block[rows[systematic]])
+        if self.is_complete:
+            self._redundant += len(fresh_rows)
+            return len(fresh_rows)
+        flat, indptr = self._neighbour_block(ids)
+        rhs = None
+        if payloads is not None:
+            rhs = np.ascontiguousarray(
+                np.asarray(payloads, dtype=np.uint8)[rows])
+        contributed = self.add_equations(indptr, flat, rhs)
+        self._redundant += int(np.count_nonzero(~contributed))
+        self.maybe_inactivate()
+        return len(fresh_rows)

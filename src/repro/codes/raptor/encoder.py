@@ -1,0 +1,132 @@
+"""Systematic Raptor droplet minting.
+
+Every droplet — systematic ids included — is a weakened-distribution
+XOR row over the ``k'`` *intermediate* packets.  Binding to a source
+block therefore starts with the **systematic pre-solve**: find the
+intermediate block ``C`` such that the precode constraints hold *and*
+the droplet rows at the geometry's systematic ESIs reproduce the source
+packets verbatim.  The greedy ESI scan at geometry build time made that
+system invertible by construction, so the pre-solve is one decode of
+the shared peeling engine — constraints in as zero-rhs equations, the
+``k`` systematic rows in with the source packets as right-hand sides,
+and the GF(2) inactivation finisher does the rest.
+
+After the bind:
+
+* ids ``0 .. k-1`` emit the source packets **verbatim** (their rows
+  were pinned to the source by the pre-solve — a loss-free receiver
+  pays zero decoding work);
+* ids ``>= k`` synthesize *repair* droplets — capped-degree XOR
+  combinations of ``C``, derived on demand from the shared
+  :class:`~repro.codes.lt.encoder.DropletSpec` exactly like LT
+  droplets, each a constant number of XORs.  That constant per-droplet
+  cost is the linear-time half of the Raptor claim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.codes.base import as_packet_block
+from repro.codes.lt.encoder import LTEncoder
+from repro.codes.peeling import PeelingEngine
+from repro.codes.raptor.precode import RaptorGeometry
+from repro.errors import DecodeFailure, ParameterError
+
+__all__ = ["RaptorEncoder", "presolve_intermediates"]
+
+
+def presolve_intermediates(geometry: RaptorGeometry,
+                           source: np.ndarray) -> np.ndarray:
+    """Solve for the ``(k', P)`` intermediate block of a source block.
+
+    The joint system — ``r`` precode constraints with zero right-hand
+    sides plus the ``k`` systematic droplet rows pinned to the source
+    packets — is square and invertible by the geometry's construction,
+    so the shared peeling engine (with its maximum-likelihood
+    inactivation finisher) always completes it.
+    """
+    engine = PeelingEngine(geometry.intermediate_count,
+                           payload_size=int(source.shape[1]),
+                           source_count=geometry.intermediate_count,
+                           inactivation_limit=geometry.intermediate_count)
+    indptr, flat = geometry.constraint_rows()
+    engine.add_equations(
+        indptr, flat,
+        np.zeros((indptr.size - 1, source.shape[1]), dtype=np.uint8))
+    sys_flat, sys_indptr = geometry.spec.neighbour_block(
+        geometry.systematic_esis)
+    engine.add_equations(sys_indptr, sys_flat,
+                         np.ascontiguousarray(source, dtype=np.uint8))
+    engine.maybe_inactivate()
+    if not engine.is_complete:  # pragma: no cover - construction invariant
+        raise DecodeFailure(
+            "systematic pre-solve did not complete",
+            missing=geometry.intermediate_count
+            - engine.source_known_count)
+    return engine.source_data()
+
+
+class RaptorEncoder:
+    """Produces systematic Raptor droplets for one source block on demand.
+
+    Parameters
+    ----------
+    geometry:
+        The shared :class:`~repro.codes.raptor.precode.RaptorGeometry`.
+    source:
+        The ``(k, P)`` source packet block.
+    """
+
+    def __init__(self, geometry: RaptorGeometry, source: np.ndarray):
+        self.geometry = geometry
+        self.source = as_packet_block(source, geometry.k, dtype=np.uint8)
+        self.intermediates = presolve_intermediates(geometry, self.source)
+        self._lt = LTEncoder(geometry.spec, self.intermediates)
+
+    @property
+    def k(self) -> int:
+        return self.geometry.k
+
+    @property
+    def payload_size(self) -> int:
+        return int(self.source.shape[1])
+
+    def droplet_payload(self, droplet_id: int) -> np.ndarray:
+        """Droplet ``droplet_id``: a source row below ``k``, a repair above."""
+        if droplet_id < 0:
+            raise ParameterError("droplet id must be >= 0")
+        if droplet_id < self.geometry.k:
+            return self.source[droplet_id].copy()
+        return self._lt.droplet_payload(
+            self.geometry.repair_base + (droplet_id - self.geometry.k))
+
+    def payload_block(self, droplet_ids: Sequence[int]) -> np.ndarray:
+        """Payloads for many droplets as one ``(len(ids), P)`` block.
+
+        Systematic ids resolve as a single row gather from the source;
+        repair ids batch through the LT encoder's vectorized path over
+        the intermediates.
+        """
+        ids = np.asarray(droplet_ids, dtype=np.int64)
+        if ids.size and int(ids.min()) < 0:
+            raise ParameterError("droplet id must be >= 0")
+        out = np.empty((ids.size, self.payload_size), dtype=np.uint8)
+        systematic = ids < self.geometry.k
+        if systematic.any():
+            out[systematic] = self.source[ids[systematic]]
+        repair = ~systematic
+        if repair.any():
+            out[repair] = self._lt.payload_block(
+                self.geometry.repair_base
+                + (ids[repair] - self.geometry.k))
+        return out
+
+    def droplets(self, start: int = 0) -> Iterator[np.ndarray]:
+        """An endless stream of payloads from ``start`` — the fountain."""
+        droplet_id = start
+        while True:
+            yield self.droplet_payload(droplet_id)
+            droplet_id += 1

@@ -545,6 +545,13 @@ def _register_defaults() -> None:
                                                          delta=delta),
                       seed=int(seed))
 
+    def _raptor(k: int, seed: int = 0, eps: float = 0.05, c: float = 0.03,
+                delta: float = 0.1):
+        from repro.codes.raptor.code import RaptorCode
+
+        return RaptorCode(int(k), eps=float(eps), c=float(c),
+                          delta=float(delta), seed=int(seed))
+
     def _rs(k: int, seed: int = 0, construction: str = "cauchy",
             stretch: float = 2.0):
         # RS constructions are deterministic; ``seed`` is accepted (and
@@ -566,6 +573,10 @@ def _register_defaults() -> None:
     register_code(
         "lt", _lt, rateless=True,
         summary="LT rateless fountain: robust-soliton droplets, no n")
+    register_code(
+        "raptor", _raptor, rateless=True,
+        summary="Raptor: systematic precode + weakened fountain, "
+                "constant overhead")
     register_code(
         "rs", _rs,
         summary="Reed-Solomon MDS baseline (cauchy or vandermonde)")

@@ -581,14 +581,19 @@ def _materialize(scenario: Scenario) -> _Population:
 # -- decode thresholds ---------------------------------------------------------
 
 
-#: thinning rate used when sampling rateless decode thresholds — a mild
-#: representative loss; within one code realisation the threshold
-#: distribution is insensitive to the exact rate.
+#: fallback thinning rate for rateless decode-threshold sampling when no
+#: receiver population is supplied (direct ``_threshold_tables`` calls).
 _POOL_THINNING = 0.1
+
+#: ceiling on a trial's thinning rate — keeps the sampled id window
+#: finite for near-total-loss receivers (their thresholds are rate-
+#: insensitive far before this point).
+_POOL_THINNING_MAX = 0.9
 
 
 def _sample_thresholds(code: Any, trials: int, rng: np.random.Generator,
-                       rateless: bool) -> np.ndarray:
+                       rateless: bool,
+                       loss_rates: Optional[np.ndarray] = None) -> np.ndarray:
     """Empirical decode thresholds of *this* code realisation.
 
     Fixed-rate codes receive a random permutation prefix of their
@@ -596,18 +601,41 @@ def _sample_thresholds(code: Any, trials: int, rng: np.random.Generator,
     and a loss-thinned subset of it is exchangeable with a uniform
     one); rateless codes receive a loss-thinned droplet-id prefix,
     exactly the stream a receiver on a lossy channel collects.
+
+    ``loss_rates`` carries the *population's* per-receiver effective
+    droplet-loss rates; each rateless trial thins at a rate drawn from
+    it, so the pool is a mixture matched to the receivers that will
+    draw from it.  This matters: within one LT realisation the
+    threshold *median* is rate-insensitive, but the tail is not — a
+    realisation whose early droplet ids leave some source packet thinly
+    covered pays a long-wait threshold exactly when the thinning
+    happens to knock out the few covering ids, a probability that peaks
+    at intermediate rates.  A single fixed rate can therefore sit at a
+    tail-inflating operating point that almost no real receiver
+    occupies, biasing the structural model against exact replays.
+    Per-block interleaving also justifies i.i.d. thinning here even for
+    bursty channels: consecutive slots of one block are far apart in
+    the stream, so a block's survival pattern is a strided subsample of
+    the loss process with its burst correlation stripped.
     """
     thresholds = np.empty(trials, dtype=np.int64)
     for t in range(trials):
         if rateless:
-            ids = np.nonzero(rng.random(4 * code.k) > _POOL_THINNING)[0]
+            if loss_rates is not None and loss_rates.size:
+                thin = float(loss_rates[rng.integers(0, loss_rates.size)])
+            else:
+                thin = _POOL_THINNING
+            thin = min(max(thin, 0.0), _POOL_THINNING_MAX)
+            window = int(np.ceil(4 * code.k / (1.0 - thin)))
+            ids = np.nonzero(rng.random(window) > thin)[0]
         else:
             ids = rng.permutation(code.n)
         thresholds[t] = code.packets_to_decode(ids)
     return thresholds
 
 
-def _threshold_tables(scenario: Scenario
+def _threshold_tables(scenario: Scenario,
+                      loss_rates: Optional[np.ndarray] = None
                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
     """Per-block ``k``, per-block carousel period ``n``, and per-block
     threshold samples (stacked into one lookup table).
@@ -633,7 +661,7 @@ def _threshold_tables(scenario: Scenario
         code = REGISTRY.build(spec, k, seed=block_seed(scenario.seed, b))
         rng = spawn_rng(scenario.seed, _POOL_STREAM + b)
         pools[b] = _sample_thresholds(code, scenario.threshold_trials,
-                                      rng, rateless)
+                                      rng, rateless, loss_rates=loss_rates)
         n_b[b] = np.inf if rateless else float(code.n)
     return k_b, n_b, pools, rateless
 
@@ -843,8 +871,22 @@ class SpotCheckResult:
         heavy-tailed overhead distribution a small sample's means can
         differ substantially even when the model is exact, so agreement
         must be judged against this scale, not zero.
+
+        The design is *paired* — the same sampled receivers, sharing
+        deterministic attributes (loss parameters, trace identity and
+        offset, join/leave), appear on both sides — so the standard
+        error of the paired differences is the correct estimator; the
+        unpaired two-sample formula ignores the shared per-receiver
+        attributes and is only a fallback when the completion patterns
+        leave too few pairs to difference.
         """
-        s = self.structural_overhead[~np.isnan(self.structural_overhead)]
+        struct_done = ~np.isnan(self.structural_overhead)
+        paired = struct_done & self.replay_completed
+        if np.count_nonzero(paired) >= 2:
+            diff = (self.structural_overhead[paired]
+                    - self.replay_overhead[paired])
+            return float(np.sqrt(diff.var() / diff.size))
+        s = self.structural_overhead[struct_done]
         r = self.replay_overhead[self.replay_completed]
         if s.size < 2 or r.size < 2:
             return float("inf")
@@ -1060,13 +1102,21 @@ class SwarmSimulator:
         self.scenario = scenario
         self.plan = scenario.plan()
 
-    def _thresholds(self, population_size: int
+    def _thresholds(self, pop: _Population
                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
-        """Per-(receiver, block) decode thresholds plus block geometry."""
-        k_b, n_b, pools, rateless = _threshold_tables(self.scenario)
+        """Per-(receiver, block) decode thresholds plus block geometry.
+
+        Rateless pools thin at the population's own effective
+        droplet-loss rates (channel loss plus rate-tier thinning), so
+        the threshold mixture each receiver draws from matches the id
+        patterns the population actually collects.
+        """
+        effective_loss = 1.0 - (1.0 - pop.loss_rate) * pop.rate
+        k_b, n_b, pools, rateless = _threshold_tables(
+            self.scenario, loss_rates=effective_loss)
         rng = spawn_rng(self.scenario.seed, _CHOICE_STREAM)
         choice = rng.integers(0, pools.shape[1],
-                              size=(population_size, pools.shape[0]))
+                              size=(pop.size, pools.shape[0]))
         thresholds = pools[np.arange(pools.shape[0])[None, :], choice]
         return k_b, n_b, thresholds, rateless
 
@@ -1085,7 +1135,7 @@ class SwarmSimulator:
         start = time.perf_counter()
         scenario = self.scenario
         pop = _materialize(scenario)
-        k_b, n_b, thresholds, rateless = self._thresholds(pop.size)
+        k_b, n_b, thresholds, rateless = self._thresholds(pop)
         if workers is not None and workers > 1:
             chunks = self._chunk_ranges(pop.size, workers)
             payloads = [(scenario.to_dict(), pop.rows(lo, hi),

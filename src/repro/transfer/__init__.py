@@ -33,12 +33,7 @@ The CLI surface is ``python -m repro send`` / ``python -m repro recv``.
 """
 
 from repro.transfer.blocks import BlockPlan, BlockSpec
-from repro.transfer.codec import (
-    CODE_FAMILIES,
-    RATELESS_FAMILIES,
-    ObjectCodec,
-    block_seed,
-)
+from repro.transfer.codec import ObjectCodec, block_seed
 from repro.transfer.schedule import (
     SCHEDULES,
     interleaved_slots,
@@ -62,3 +57,12 @@ __all__ = [
     "TransferServer",
     "TransferClient",
 ]
+
+
+def __getattr__(name):
+    # Deprecated aliases live in (and warn from) the codec module.
+    if name in ("CODE_FAMILIES", "RATELESS_FAMILIES"):
+        from repro.transfer import codec
+
+        return getattr(codec, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

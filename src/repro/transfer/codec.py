@@ -22,6 +22,7 @@ block geometry, canonical code spec, seed).
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
@@ -41,15 +42,25 @@ def _registry_factory(name: str) -> Callable[[int, int], Any]:
     return build
 
 
-#: Deprecated shim: family name -> ``build(k, seed)`` constructor.
-#: New code should call :func:`repro.codes.registry.build_code` instead.
-CODE_FAMILIES: Dict[str, Callable[[int, int], Any]] = {
-    name: _registry_factory(name) for name in REGISTRY.names()
-}
-
-#: Deprecated shim: families with no fixed ``n`` (served rateless).
-RATELESS_FAMILIES = frozenset(
-    family.name for family in REGISTRY if family.rateless)
+def __getattr__(name: str) -> Any:
+    # Deprecated pre-registry aliases, kept importable but loud.  Both
+    # are derived from the live registry on access, so late-registered
+    # families (raptor included) appear without any per-surface code.
+    if name == "CODE_FAMILIES":
+        warnings.warn(
+            "CODE_FAMILIES is deprecated; use "
+            "repro.codes.registry.build_code(spec, k, seed=...) instead",
+            DeprecationWarning, stacklevel=2)
+        return {family: _registry_factory(family)
+                for family in REGISTRY.names()}
+    if name == "RATELESS_FAMILIES":
+        warnings.warn(
+            "RATELESS_FAMILIES is deprecated; use "
+            "repro.codes.registry.REGISTRY.is_rateless(spec) instead",
+            DeprecationWarning, stacklevel=2)
+        return frozenset(
+            family.name for family in REGISTRY if family.rateless)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ObjectCodec:
@@ -76,6 +87,11 @@ class ObjectCodec:
                  family: Union[str, CodeSpec, None] = None):
         if code is not None and family is not None:
             raise ParameterError("pass either code= or family=, not both")
+        if family is not None:
+            warnings.warn(
+                "ObjectCodec(family=...) is deprecated; pass the registry "
+                "spec string via code= instead",
+                DeprecationWarning, stacklevel=2)
         if code is None:
             code = family if family is not None else "tornado-b"
         self.spec = REGISTRY.spec(code)

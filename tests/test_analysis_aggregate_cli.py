@@ -180,9 +180,10 @@ class TestCli:
         assert cli.main(["codes", "list"]) == 0
         out = capsys.readouterr().out
         # Every registered family appears, with parameters and modes.
-        for family in ("tornado-a", "tornado-b", "lt", "rs"):
+        for family in ("tornado-a", "tornado-b", "lt", "rs", "raptor"):
             assert f"\n{family}\n" in f"\n{out}"
         assert "c=0.03" in out and "delta=0.1" in out
+        assert "eps=0.05" in out  # raptor's precode rate, with default
         assert "construction='cauchy'" in out
         assert "carousel" in out and "rateless" in out and "layered" in out
         assert "yes (no n)" in out  # lt is flagged rateless
@@ -195,10 +196,16 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         families = {row["name"]: row for row in payload["families"]}
         assert set(families) == {"tornado-a", "tornado-b", "lt", "rs",
-                                 "interleaved"}
+                                 "interleaved", "raptor"}
         assert families["lt"]["rateless"] is True
         assert families["lt"]["parameters"] == {"c": 0.03, "delta": 0.1}
         assert families["rs"]["parameters"]["construction"] == "cauchy"
+        # Raptor rides the same tunable discovery: every knob surfaces
+        # with its default so spec strings are self-documenting.
+        assert families["raptor"]["rateless"] is True
+        assert families["raptor"]["parameters"] == {
+            "eps": 0.05, "c": 0.03, "delta": 0.1}
+        assert "rateless" in families["raptor"]["modes"]
         assert "layered" in families["tornado-a"]["modes"]
         # The JSON rows and the human table come from one formatter.
         assert set(families) == {row["name"] for row in cli._family_rows()}

@@ -29,6 +29,10 @@ FAMILY_CASES = [
     ("lt", 32),
     ("lt", 100),
     ("lt:c=0.05,delta=0.5", 48),
+    ("raptor", 2),
+    ("raptor", 32),
+    ("raptor", 100),
+    ("raptor:eps=0.1,c=0.05,delta=0.5", 48),
     ("rs", 2),
     ("rs", 16),
     ("rs", 60),
@@ -52,9 +56,10 @@ def test_backends_identical(spec, k, seed):
     ("tornado-b", 32),
     ("tornado-a", 32),
     ("lt", 32),
+    ("raptor", 32),
     ("rs", 16),
     ("interleaved", 16),
-], ids=["tornado-b", "tornado-a", "lt", "rs", "interleaved"])
+], ids=["tornado-b", "tornado-a", "lt", "raptor", "rs", "interleaved"])
 def test_odd_payload_sizes(spec, k, payload_size):
     """Widths that do not fill a uint64 lane (and width 1) stay identical."""
     run = assert_backends_identical(spec, k, payload_size=payload_size,

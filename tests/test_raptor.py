@@ -1,0 +1,250 @@
+"""Raptor subsystem tests: geometry, systematic mapping, two-stage decode.
+
+The load-bearing properties, pinned with Hypothesis over random
+``(k, eps, seed)`` tuples:
+
+* **systematic round trip** — droplet ids below ``k`` emit the source
+  packets byte-exactly, and a receiver holding any subset of them gets
+  those packets back byte-exactly however the rest of the block was
+  recovered;
+* **geometry agreement** — encoder and decoder derive the identical
+  intermediate-block geometry (counts, systematic index, constraint
+  rows) from the shared ``(k, params, seed)`` tuple under *both* codec
+  backends, so the spec string in a manifest is all the wire needs to
+  carry.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.backend import use_backend
+from repro.codes.raptor.code import RaptorCode
+from repro.codes.raptor.decoder import RaptorDecoder
+from repro.codes.raptor.encoder import RaptorEncoder, presolve_intermediates
+from repro.codes.raptor.precode import raptor_geometry, weakened_soliton
+from repro.codes.registry import build_code
+from repro.errors import DecodeFailure, ParameterError
+
+_k = st.integers(min_value=1, max_value=120)
+_eps = st.floats(min_value=0.02, max_value=0.5, allow_nan=False)
+_seed = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _source(k: int, payload: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(k, payload), dtype=np.uint8)
+
+
+class TestGeometry:
+    def test_counts_and_systematic_index(self):
+        g = raptor_geometry(100, eps=0.05, seed=3)
+        assert g.parity_count == math.ceil(0.05 * 100)
+        assert g.dense_count >= 2
+        assert g.intermediate_count == 100 + g.parity_count + g.dense_count
+        # The systematic index is strictly increasing and repair ESIs
+        # start right after it — the two id ranges never collide.
+        esis = g.systematic_esis
+        assert esis.size == 100
+        assert (np.diff(esis) > 0).all()
+        assert g.repair_base == int(esis[-1]) + 1
+
+    def test_constraint_rows_have_private_parity_columns(self):
+        g = raptor_geometry(64, seed=9)
+        indptr, flat = g.constraint_rows()
+        assert indptr.size - 1 == g.parity_count + g.dense_count
+        heads = flat[indptr[:-1]]
+        # Each check owns its parity column: the constraint block has
+        # full rank r by construction.
+        assert sorted(heads.tolist()) == list(
+            range(64, g.intermediate_count))
+
+    def test_weakened_distribution_is_capped(self):
+        dist = weakened_soliton(2000, 0.05, 0.03, 0.1)
+        cap = math.ceil(4 * 1.05 / 0.05)
+        assert dist.max_degree == cap + 1
+        assert dist.average_degree < 8  # O(1) work per droplet
+        # Small blocks degenerate to the (soliton) LT regime where the
+        # cap is vacuous and c/delta keep their meaning.
+        small = weakened_soliton(40, 0.05, 0.03, 0.1)
+        assert small.max_degree <= 40
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            raptor_geometry(0)
+        with pytest.raises(ParameterError):
+            raptor_geometry(10, eps=0.0)
+        with pytest.raises(ParameterError):
+            raptor_geometry(10, c=-1.0)
+        with pytest.raises(ParameterError):
+            raptor_geometry(10, delta=1.0)
+
+    @given(_k, _eps, _seed)
+    @settings(max_examples=40, deadline=None)
+    def test_geometry_agrees_across_backends(self, k, eps, seed):
+        """Encoder and decoder sides — and both codec backends — derive
+        one identical geometry from the shared tuple."""
+        with use_backend("vectorized"):
+            a = raptor_geometry(k, eps=eps, seed=seed)
+        with use_backend("reference"):
+            b = raptor_geometry(k, eps=eps, seed=seed)
+        assert a.intermediate_count == b.intermediate_count
+        assert a.parity_count == b.parity_count
+        assert a.dense_count == b.dense_count
+        np.testing.assert_array_equal(a.systematic_esis, b.systematic_esis)
+        for left, right in zip(a.constraint_rows(), b.constraint_rows()):
+            np.testing.assert_array_equal(left, right)
+        # The decoder's own copy is the same object graph the encoder
+        # uses — one source of truth.
+        code = RaptorCode(k, eps=eps, seed=seed)
+        decoder = code.new_decoder()
+        assert decoder.geometry is code.geometry
+        assert decoder.spec is code.geometry.spec
+
+
+class TestSystematicMapping:
+    @given(_k, _eps, _seed)
+    @settings(max_examples=30, deadline=None)
+    def test_ids_below_k_round_trip_byte_exactly(self, k, eps, seed):
+        code = RaptorCode(k, eps=eps, seed=seed)
+        source = _source(k, 17, seed ^ 0xABCD)
+        encoder = code.encoder(source)
+        block = encoder.payload_block(list(range(k)))
+        np.testing.assert_array_equal(block, source)
+        for i in (0, k // 2, k - 1):
+            np.testing.assert_array_equal(
+                encoder.droplet_payload(i), source[i])
+
+    @given(_k, _seed)
+    @settings(max_examples=20, deadline=None)
+    def test_loss_free_receiver_skips_the_solver(self, k, seed):
+        code = RaptorCode(k, seed=seed)
+        source = _source(k, 9, seed ^ 0x5A5A)
+        encoder = code.encoder(source)
+        decoder = code.new_decoder(payload_size=9)
+        decoder.add_packets(list(range(k)), encoder.payload_block(range(k)))
+        assert decoder.is_complete
+        np.testing.assert_array_equal(decoder.source_data(), source)
+        # The engine itself never had to finish: completion came from
+        # the verbatim systematic packets alone.
+        assert decoder.packets_added == k
+
+    def test_presolve_pins_systematic_rows(self):
+        """The intermediate block satisfies both row families: zero
+        constraints and source-valued systematic droplet rows."""
+        g = raptor_geometry(48, seed=5)
+        source = _source(48, 11, 1)
+        inter = presolve_intermediates(g, source)
+        assert inter.shape == (g.intermediate_count, 11)
+        indptr, flat = g.constraint_rows()
+        for j in range(indptr.size - 1):
+            rows = inter[flat[indptr[j]:indptr[j + 1]]]
+            assert not np.bitwise_xor.reduce(rows, axis=0).any()
+        for i, esi in enumerate(g.systematic_esis):
+            rows = inter[g.spec.neighbours(int(esi))]
+            np.testing.assert_array_equal(
+                np.bitwise_xor.reduce(rows, axis=0), source[i])
+
+
+class TestDecoder:
+    def test_lossy_decode_byte_exact_and_low_overhead(self):
+        code = RaptorCode(64, seed=7)
+        source = _source(64, 32, 2)
+        encoder = code.encoder(source)
+        rng = np.random.default_rng(3)
+        ids = [i for i in range(400) if rng.random() > 0.3]
+        decoder = code.new_decoder(payload_size=32)
+        fed = 0
+        for i in ids:
+            decoder.add_packet(i, encoder.droplet_payload(i))
+            fed += 1
+            if decoder.is_complete:
+                break
+        assert decoder.is_complete
+        np.testing.assert_array_equal(decoder.source_data(), source)
+        # The Raptor claim: constant small overhead, nothing like the
+        # LT coupon-collector threshold.
+        assert fed <= math.ceil(1.15 * 64)
+
+    def test_repair_only_decode(self):
+        """A receiver that missed every systematic packet still decodes."""
+        code = RaptorCode(40, seed=13)
+        source = _source(40, 8, 4)
+        encoder = code.encoder(source)
+        decoder = code.new_decoder(payload_size=8)
+        ids = list(range(40, 110))
+        decoder.add_packets(ids, encoder.payload_block(ids))
+        assert decoder.is_complete
+        np.testing.assert_array_equal(decoder.source_data(), source)
+
+    def test_duplicate_and_redundant_accounting(self):
+        code = RaptorCode(16, seed=1)
+        source = _source(16, 4, 5)
+        encoder = code.encoder(source)
+        decoder = code.new_decoder(payload_size=4)
+        payload = encoder.droplet_payload(0)
+        assert decoder.add_packet(0, payload)
+        assert not decoder.add_packet(0, payload)
+        assert decoder.duplicates_seen == 1
+        assert decoder.packets_added == 1
+
+    def test_min_additional_packets_bound(self):
+        code = RaptorCode(32, seed=2)
+        decoder = code.new_decoder()
+        # Fresh decoder: constraints are in, but each droplet can add
+        # at most one rank — the bound is exactly k.
+        assert decoder.min_additional_packets == 32
+        decoder.add_packets(list(range(16)))
+        assert decoder.min_additional_packets >= 16
+        decoder.add_packets(list(range(16, 40)))
+        assert decoder.is_complete
+        assert decoder.min_additional_packets == 0
+
+    def test_incomplete_source_data_raises(self):
+        code = RaptorCode(24, seed=6)
+        decoder = code.new_decoder(payload_size=4)
+        source = _source(24, 4, 7)
+        encoder = code.encoder(source)
+        decoder.add_packet(3, encoder.droplet_payload(3))
+        with pytest.raises(DecodeFailure):
+            decoder.source_data()
+        assert decoder.missing_source_indices().size == 23
+
+    def test_negative_ids_rejected(self):
+        decoder = RaptorDecoder(raptor_geometry(8, seed=0))
+        with pytest.raises(ParameterError):
+            decoder.add_packet(-1)
+        with pytest.raises(ParameterError):
+            decoder.add_packets([-3])
+
+    def test_structural_threshold_matches_incremental(self):
+        code = RaptorCode(48, seed=21)
+        rng = np.random.default_rng(11)
+        order = [i for i in range(300) if rng.random() > 0.2]
+        threshold = code.packets_to_decode(order)
+        decoder = code.new_decoder()
+        decoder.add_packets(order[:threshold - 1])
+        assert not decoder.is_complete
+        decoder.add_packet(order[threshold - 1])
+        assert decoder.is_complete
+
+
+class TestRegistryIntegration:
+    def test_spec_string_builds_raptor(self):
+        code = build_code("raptor:eps=0.1,c=0.05,delta=0.5", 50, seed=3)
+        assert isinstance(code, RaptorCode)
+        assert code.eps == 0.1 and code.c == 0.05 and code.delta == 0.5
+        assert code.n is None  # rateless: no fixed length
+        source = _source(50, 8, 9)
+        recovered = code.decode(
+            {i: p for i, p in zip(range(50, 120),
+                                  code.encoder(source).payload_block(
+                                      range(50, 120)))})
+        np.testing.assert_array_equal(recovered, source)
+
+    def test_encoder_type(self):
+        code = build_code("raptor", 20, seed=0)
+        assert isinstance(code.encoder(_source(20, 4, 0)), RaptorEncoder)

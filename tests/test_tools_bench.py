@@ -157,6 +157,71 @@ class TestCompare:
                               "--current-dir", str(tmp_path / "empty")])
 
 
+def swarm_payload(raptor_p99=0.18, lt_p50=0.19):
+    return {"results": [
+        {"case": "mobile-traces", "overhead_p50": lt_p50},
+        {"case": "raptor-traces", "overhead_p99": raptor_p99},
+    ]}
+
+
+class TestCrossCase:
+    def test_holding_claim_passes(self):
+        assert check_bench.check_cross_cases(
+            "BENCH_swarm.json", swarm_payload()) == []
+
+    def test_raptor_p99_above_lt_median_fails(self):
+        regressions = check_bench.check_cross_cases(
+            "BENCH_swarm.json", swarm_payload(raptor_p99=0.25))
+        assert len(regressions) == 1
+        assert "undercut the LT median" in str(regressions[0])
+        assert "raptor-traces" in str(regressions[0])
+
+    def test_rules_only_fire_for_their_file(self):
+        # The same payload under another name carries no raptor claim.
+        assert check_bench.check_cross_cases(
+            "BENCH_other.json", swarm_payload(raptor_p99=0.9)) == []
+
+    def test_missing_case_or_metric_fails(self):
+        gone = {"results": [{"case": "mobile-traces", "overhead_p50": 0.2}]}
+        regressions = check_bench.check_cross_cases(
+            "BENCH_swarm.json", gone)
+        assert len(regressions) == 1
+        assert "cross-case rule needs this metric" in str(regressions[0])
+
+        unmetric = swarm_payload()
+        del unmetric["results"][0]["overhead_p50"]
+        assert len(check_bench.check_cross_cases(
+            "BENCH_swarm.json", unmetric)) == 1
+
+    def test_decode_throughput_ratio_fails_on_collapse(self):
+        payload = {"results": [
+            {"case": "raw-lt-k128", "decode_MBps_vectorized": 20.0,
+             "decode_MBps_reference": 8.0},
+            {"case": "raw-raptor-k128", "decode_MBps_vectorized": 1.0,
+             "decode_MBps_reference": 4.0},
+        ]}
+        regressions = check_bench.check_cross_cases(
+            "BENCH_transfer.json", payload)
+        assert len(regressions) == 1
+        assert "vectorized backend" in str(regressions[0])
+
+    def test_cross_case_violation_fails_main(self, tmp_path, capsys):
+        base_dir = tmp_path / "baseline"
+        cur_dir = tmp_path / "current"
+        base_dir.mkdir()
+        cur_dir.mkdir()
+        (base_dir / "BENCH_swarm.json").write_text(
+            json.dumps(swarm_payload(raptor_p99=0.25)))
+        (cur_dir / "BENCH_swarm.json").write_text(
+            json.dumps(swarm_payload(raptor_p99=0.25)))
+        # Identical baseline and current — only the cross-case claim
+        # itself can (and must) fail the gate.
+        assert check_bench.main(
+            ["--baseline-dir", str(base_dir),
+             "--current-dir", str(cur_dir)]) == 1
+        assert "undercut the LT median" in capsys.readouterr().out
+
+
 class TestAgainstCommittedBaselines:
     def test_committed_baselines_self_compare(self, capsys):
         """Every committed BENCH_*.json passes against itself via the

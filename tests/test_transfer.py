@@ -102,7 +102,7 @@ class TestObjectCodec:
 
     def test_per_block_codes_match_tail(self):
         plan = BlockPlan(5000, 64, 16)
-        codec = ObjectCodec(plan, family="tornado-b", seed=3)
+        codec = ObjectCodec(plan, code="tornado-b", seed=3)
         for b in range(plan.num_blocks):
             assert codec.code_for(b).k == plan.blocks[b].k
         # cached: same object back
@@ -110,17 +110,38 @@ class TestObjectCodec:
 
     def test_unknown_family_rejected(self):
         with pytest.raises(ParameterError):
-            ObjectCodec(BlockPlan(100, 10, 4), family="raptorq")
+            ObjectCodec(BlockPlan(100, 10, 4), code="raptorq")
+
+    def test_family_kwarg_deprecated_but_routed(self):
+        """The pre-registry alias still works — loudly — and lands on
+        the same registry spec the modern kwarg does."""
+        with pytest.warns(DeprecationWarning, match="family=.*deprecated"):
+            codec = ObjectCodec(BlockPlan(100, 10, 4), family="raptor")
+        assert codec.code_spec == "raptor"
+        assert codec.is_rateless
+
+    def test_family_alias_tables_deprecated_but_live(self):
+        """CODE_FAMILIES / RATELESS_FAMILIES warn on access and reflect
+        the live registry (raptor included, no per-surface code)."""
+        import repro.transfer as transfer
+
+        with pytest.warns(DeprecationWarning, match="CODE_FAMILIES"):
+            families = transfer.CODE_FAMILIES
+        assert "raptor" in families and "lt" in families
+        assert families["lt"](20, seed=1).k == 20
+        with pytest.warns(DeprecationWarning, match="RATELESS_FAMILIES"):
+            rateless = transfer.RATELESS_FAMILIES
+        assert {"lt", "raptor"} <= rateless
 
     def test_rateless_has_no_finite_encoding(self):
-        codec = ObjectCodec(BlockPlan(1000, 10, 10), family="lt")
+        codec = ObjectCodec(BlockPlan(1000, 10, 10), code="lt")
         assert codec.is_rateless
         with pytest.raises(ParameterError):
             codec.encode_block(_random_bytes(1000, 3), 0)
 
     def test_manifest_roundtrip(self):
         plan = BlockPlan(5000, 64, 16)
-        codec = ObjectCodec(plan, family="lt", seed=11)
+        codec = ObjectCodec(plan, code="lt", seed=11)
         manifest = codec.to_manifest(file_name="x.bin")
         assert manifest["block_header"] is True
         rebuilt = ObjectCodec.from_manifest(json.loads(json.dumps(manifest)))
@@ -222,7 +243,7 @@ class TestTransferEndToEnd:
     def test_lossy_roundtrip(self, family):
         data = _random_bytes(40_000, seed=4)
         plan = BlockPlan(len(data), packet_size=256, block_packets=32)
-        codec = ObjectCodec(plan, family=family, seed=5)
+        codec = ObjectCodec(plan, code=family, seed=5)
         server = TransferServer(codec, data, seed=6)
         client = TransferClient(codec)
         channel = LossyChannel(BernoulliLoss(0.25), rng=7)

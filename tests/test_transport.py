@@ -312,7 +312,8 @@ class TestUdpUnicast:
         assert report.manifest_frames >= 1
         assert report.dropped > 0  # the injected loss actually fired
 
-    @pytest.mark.parametrize("spec", ["tornado-b", "lt", "rs"])
+    @pytest.mark.parametrize(
+        "spec", ["tornado-b", "lt", "rs", "raptor:eps=0.05"])
     def test_megabyte_at_20_percent_loss(self, spec):
         """Acceptance: >= 1 MiB byte-exact over real asyncio UDP
         loopback with 20% injected loss, per registry spec string."""

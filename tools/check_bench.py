@@ -19,7 +19,13 @@ baselines, metric by metric, with per-metric tolerance rules:
   ratios don't wobble with hardware, so the win itself is the contract;
 * a case or metric present in the baseline but missing from the fresh
   run is a regression (coverage must not silently shrink); new cases
-  and metrics are reported but pass.
+  and metrics are reported but pass;
+* *cross-case claims* (``CROSS_CASE_RULES``) are one-sided inequalities
+  between two cases of the same fresh summary — e.g. the systematic
+  Raptor claim that its p99 reception overhead undercuts the plain-LT
+  median on the identical trace population.  These gate the *claim*
+  itself, not drift against a baseline, so they are evaluated on the
+  fresh payload alone; a missing case or metric fails the rule.
 
 Baselines come from ``git show <rev>:<file>`` by default (``--baseline-git
 HEAD``), so the gate runs after a bench pass has overwritten the
@@ -74,6 +80,35 @@ METRIC_RULES: List[Tuple[str, str, Dict[str, float]]] = [
 
 #: fallback for unclassified numeric metrics: generous two-sided drift.
 DEFAULT_RULE = ("both", {"abs_tol": 1e-9, "rel_tol": 0.5})
+
+#: one-sided claims between two cases of one summary file, evaluated on
+#: the fresh payload alone:
+#: ``(file, (case_a, metric_a), op, ratio, (case_b, metric_b), claim)``
+#: asserts ``a <op> ratio * b``.  Overhead claims are deterministic for
+#: seeded runs, so the ratio is exact; throughput claims get the same
+#: generous factor the timing rules use (shared CI hardware wobbles,
+#: but a same-machine ratio collapse is a real regression).
+CROSS_CASE_RULES: List[Tuple[str, Tuple[str, str], str, float,
+                             Tuple[str, str], str]] = [
+    # The constant-overhead headline: on the identical mobile-trace
+    # population, the systematic Raptor swarm's p99 reception overhead
+    # must undercut the plain-LT swarm's *median* — the p99-vs-p50
+    # collapse is the paper-level claim the subsystem exists to make.
+    ("BENCH_swarm.json", ("raptor-traces", "overhead_p99"), "<=", 1.0,
+     ("mobile-traces", "overhead_p50"),
+     "systematic Raptor p99 overhead must undercut the LT median"),
+    # Raptor decode must stay LT-class on both codec backends: the
+    # two-stage decoder (precode constraints + inactivation) may not
+    # cost more than the timing-gate factor over plain LT ingest.
+    ("BENCH_transfer.json",
+     ("raw-raptor-k128", "decode_MBps_vectorized"), ">=", 0.25,
+     ("raw-lt-k128", "decode_MBps_vectorized"),
+     "raptor decode fell out of LT-class (vectorized backend)"),
+    ("BENCH_transfer.json",
+     ("raw-raptor-k128", "decode_MBps_reference"), ">=", 0.25,
+     ("raw-lt-k128", "decode_MBps_reference"),
+     "raptor decode fell out of LT-class (reference backend)"),
+]
 
 
 class Regression:
@@ -184,6 +219,40 @@ def compare_payloads(file_name: str, baseline: dict, current: dict
     return regressions, notes
 
 
+def check_cross_cases(file_name: str, current: dict
+                      ) -> List[Regression]:
+    """Evaluate every :data:`CROSS_CASE_RULES` entry for one summary."""
+    regressions: List[Regression] = []
+    rows = _rows_by_case(current, f"current {file_name}")
+    for rule_file, (case_a, metric_a), op, ratio, (case_b, metric_b), \
+            claim in CROSS_CASE_RULES:
+        if rule_file != file_name:
+            continue
+        values = []
+        for case, metric in ((case_a, metric_a), (case_b, metric_b)):
+            row = rows.get(case)
+            value = None if row is None else row.get(metric)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                regressions.append(Regression(
+                    file_name, case, metric,
+                    f"cross-case rule needs this metric, got {value!r} "
+                    f"({claim})"))
+                value = None
+            values.append(value)
+        a, b = values
+        if a is None or b is None:
+            continue
+        bound = ratio * float(b)
+        failed = a > bound if op == "<=" else a < bound
+        if failed:
+            regressions.append(Regression(
+                file_name, case_a, metric_a,
+                f"{a} violates {metric_a} {op} {ratio:g} * "
+                f"{case_b}.{metric_b} (= {bound:.4g}): {claim}"))
+    return regressions
+
+
 def _git_baseline(rev: str, file_name: str) -> Optional[dict]:
     proc = subprocess.run(
         ["git", "show", f"{rev}:{file_name}"],
@@ -245,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.current_dir, args.baseline_dir, args.baseline_git,
             args.pattern):
         regressions, notes = compare_payloads(name, baseline, current)
+        regressions.extend(check_cross_cases(name, current))
         for note in notes:
             print(note)
         cases = len(_rows_by_case(baseline, name))
