@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-reference coverage test-udp bench-smoke bench-transfer \
-	bench-ingest bench-udp bench-swarm bench-gate swarm-smoke \
-	docs-check typecheck all
+	bench-ingest bench-raptor bench-udp bench-swarm bench-gate \
+	swarm-smoke docs-check typecheck all
 
 all: test docs-check typecheck
 
@@ -62,6 +62,12 @@ bench-transfer:
 # process) afterwards before invoking bench-gate.
 bench-ingest:
 	$(PYTHON) -m pytest -q benchmarks/bench_decode_ingest.py
+
+# Raptor encode fast path: solve-plan vs pre-solve speedup and cold
+# geometry+plan build cost (publishes BENCH_raptor.json; byte-identity
+# of the two encode paths is asserted in-bench).
+bench-raptor:
+	$(PYTHON) -m pytest -q benchmarks/bench_raptor_encode.py
 
 # UDP loopback delivery: sender spray rate + end-to-end goodput.
 bench-udp:

@@ -27,6 +27,7 @@ The downstream-adoption surface of the library::
 
     python -m repro codes list        # every registered code spec
     python -m repro codes list --json # the same, machine-readable
+    python -m repro codes cache-stats # build-cache hit/miss counters
 
     # population scale: simulate a declarative many-receiver scenario
     # (loss models, join/leave churn, rate tiers — see
@@ -66,6 +67,7 @@ from repro.codes.registry import (
     REGISTRY,
     CodeSpec,
     build_code,
+    collect_cache_stats,
 )
 from repro.errors import ReproError
 from repro.fountain.packets import EncodingPacket, PacketHeader
@@ -212,6 +214,22 @@ def cmd_codes_list(args: argparse.Namespace) -> int:
         print(f"  delivery modes: {', '.join(row['modes'])}")
         print(f"  rateless: {'yes (no n)' if row['rateless'] else 'no'}")
         print()
+    return 0
+
+
+def cmd_codes_cache_stats(args: argparse.Namespace) -> int:
+    """Print every registered build-cache's counters (hits/misses/...)."""
+    stats = collect_cache_stats()
+    if getattr(args, "json", False):
+        print(json.dumps({"caches": stats}, indent=2, sort_keys=True))
+        return 0
+    if not stats:
+        print("no build caches registered")
+        return 0
+    for name, counters in stats.items():
+        print(name)
+        for key, value in sorted(counters.items()):
+            print(f"  {key}: {value}")
     return 0
 
 
@@ -558,6 +576,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="machine-readable output (same rows as "
                                  "the human table)")
     codes_list.set_defaults(func=cmd_codes_list)
+    codes_cache = codes_sub.add_parser(
+        "cache-stats",
+        help="print build-cache counters (raptor geometry+plan cache: "
+             "hits, misses, evictions, fill)")
+    codes_cache.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    codes_cache.set_defaults(func=cmd_codes_cache_stats)
 
     send = sub.add_parser(
         "send",

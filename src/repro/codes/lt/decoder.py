@@ -24,7 +24,7 @@ from typing import Optional, Sequence, Set
 import numpy as np
 
 from repro.codes.lt.encoder import DropletSpec
-from repro.codes.peeling import PeelingEngine
+from repro.codes.peeling import PeelingEngine, _VECTOR_INTAKE_MIN
 from repro.errors import ParameterError
 
 
@@ -156,8 +156,14 @@ class LTDecoder(PeelingEngine):
         and the engine peels a single combined wave.  Recovered bytes are
         identical to the sequential path; only the attribution of
         *redundant* droplets (a statistic) may differ.
+
+        Sub-threshold batches (the one-or-two-droplet tail of a
+        transfer) skip the batch machinery — per-droplet neighbour
+        derivation plus scalar intake is cheaper than one-row CSR
+        passes, which is what made batch-size-1 ingest slower than the
+        reference backend before the routing existed.
         """
-        if self._vectorized:
+        if self._vectorized and len(indices) >= _VECTOR_INTAKE_MIN:
             return self._add_packets_batch(indices, payloads)
         fresh = 0
         for row, index in enumerate(indices):

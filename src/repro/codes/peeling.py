@@ -46,13 +46,15 @@ equations directly by bit-packed Gaussian elimination over GF(2); see
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.codes.backend import is_vectorized
 from repro.errors import DecodeFailure, ParameterError
-from repro.utils.packed import xor_view
+from repro.utils.packed import apply_xor_schedule, apply_xor_schedule_scalar, \
+    xor_view
 
 
 def _group_sorted(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -67,6 +69,14 @@ def _group_sorted(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 #: cache-friendly for transfer-block-sized systems and the engine falls
 #: back to adjacency dicts beyond it.
 _BITMATRIX_MAX_NODES = 1 << 14
+
+#: smallest batch worth the vectorized intake's fixed dispatch cost in
+#: :meth:`PeelingEngine.add_equations`.  Sub-threshold batches (one or
+#: two droplets at the tail of a transfer) run the scalar per-equation
+#: path instead, which reaches the same fixpoint — at batch size 1 the
+#: vectorized set-up otherwise *loses* to the reference backend
+#: (BENCH_transfer.json's ``ingest-lt-k128-b1`` regression).
+_VECTOR_INTAKE_MIN = 8
 
 if hasattr(np, "bitwise_count"):
     def _row_popcounts(block: np.ndarray) -> np.ndarray:
@@ -313,7 +323,10 @@ class PeelingEngine:
         contributed = np.zeros(m, dtype=bool)
         if m <= 0:
             return contributed
-        if not self._vectorized:
+        if not self._vectorized or m < _VECTOR_INTAKE_MIN:
+            # Reference discipline, and the vectorized backend's
+            # sub-threshold fast path: tiny batches pay per-equation
+            # costs either way, so skip the batch set-up machinery.
             for i in range(m):
                 seg = participants[indptr[i]:indptr[i + 1]]
                 rhs = None if rhs_block is None else rhs_block[i]
@@ -1027,7 +1040,11 @@ class PeelingEngine:
         dense-core combinations are a few thousand XORs of packet-wide
         values, each a single C-level operation on an int, which beats
         numpy's per-call dispatch at the one-to-three-row wave widths a
-        residual ripple produces.  One conversion in, one out.
+        residual ripple produces.  One conversion in, one out.  (A
+        levelled gather-XOR-scatter replay, like the one a recorded
+        :class:`SolvePlan` uses, measures ~15% slower end to end here:
+        a decode ripple's waves are one to three rows wide, so per-wave
+        dispatch overhead dominates the payload traffic it batches.)
         """
         values = self.values
         width = int(values.shape[1])
@@ -1237,3 +1254,254 @@ def _apply_row_combos(combo: np.ndarray, rhs: np.ndarray) -> None:
             folded = folded.view(np.uint8)
         out[lo + out_row[starts]] = folded
     rhs[:u] = out
+
+
+# -- recorded solve plans ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolvePlan:
+    """A replayable XOR schedule solving one fixed square GF(2) system.
+
+    Produced by :func:`record_solve_plan`, which factors the system's
+    *structure* exactly once (the engine's peel-with-inactivation
+    discipline, pivots and dense core included).  Applying the plan to a
+    concrete right-hand-side block is then pure data movement: a scratch
+    *arena* of payload rows — ``num_inputs`` input rows, one pinned zero
+    row, ``num_nodes`` node rows — is swept by dependency-levelled
+    *waves*, each wave one segmented gather-XOR-scatter, no solver in
+    sight.  The system is square and invertible, so any elimination
+    order yields the one solution; replaying this schedule is therefore
+    byte-identical to running the full engine on the same system.
+
+    Attributes
+    ----------
+    num_nodes:
+        Unknowns solved by the plan (arena rows ``num_inputs + 1 ..``).
+    num_inputs:
+        Right-hand-side payload rows the plan consumes (arena rows
+        ``0 .. num_inputs - 1``; equations with a zero right-hand side
+        read the pinned zero row between the two ranges instead).
+    waves:
+        The schedule: ``(dst, indptr, src)`` triples of arena row
+        indices, applied in order.  Within a wave every source row was
+        written by an earlier wave (or is an input), so a wave is safe
+        to apply as one batched pass.
+    """
+
+    num_nodes: int
+    num_inputs: int
+    waves: Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...] = \
+        field(repr=False)
+
+    @property
+    def wave_count(self) -> int:
+        """Scheduled passes (the substitution DAG's depth)."""
+        return len(self.waves)
+
+    @property
+    def xor_terms(self) -> int:
+        """Total payload rows gathered per apply — the traffic measure."""
+        return int(sum(src.size for _, _, src in self.waves))
+
+    def apply(self, inputs: np.ndarray) -> np.ndarray:
+        """Solve for all node values given an ``(num_inputs, P)`` block.
+
+        Returns the ``(num_nodes, P)`` solution block.  Both codec
+        backends replay the identical schedule — the vectorized one as
+        per-wave segmented reductions, the reference one as a plain
+        row-at-a-time XOR loop — so their outputs are byte-identical.
+        """
+        inputs = np.ascontiguousarray(inputs, dtype=np.uint8)
+        if inputs.ndim != 2 or inputs.shape[0] != self.num_inputs:
+            raise ParameterError(
+                f"solve plan expects a ({self.num_inputs}, P) input block, "
+                f"got shape {inputs.shape}")
+        width = int(inputs.shape[1])
+        arena = np.zeros((self.num_inputs + 1 + self.num_nodes, width),
+                         dtype=np.uint8)
+        arena[:self.num_inputs] = inputs
+        if is_vectorized():
+            apply_xor_schedule(arena, self.waves)
+        else:
+            apply_xor_schedule_scalar(arena, self.waves)
+        return arena[self.num_inputs + 1:]
+
+
+def record_solve_plan(num_nodes: int, indptr: np.ndarray,
+                      participants: np.ndarray,
+                      rhs_rows: np.ndarray,
+                      num_inputs: int) -> SolvePlan:
+    """Factor a square XOR system into a :class:`SolvePlan` once.
+
+    Equation ``e`` states that the XOR of nodes
+    ``participants[indptr[e]:indptr[e+1]]`` (duplicate-free, as
+    everywhere in the engine) equals input payload row ``rhs_rows[e]``
+    — or zero when ``rhs_rows[e]`` is ``-1``.  The system must
+    determine every node (square and invertible, e.g. the Raptor
+    systematic pre-solve); a rank-deficient system raises
+    :class:`~repro.errors.ParameterError`.
+
+    The factorization runs the engine's structured-finisher discipline
+    (:meth:`PeelingEngine._st_decompose`) over the whole system:
+    structural peeling with busiest-column inactivation, the dense core
+    over the inactive columns echelon-folded with row-combination
+    tracking.  But instead of moving payloads it *records* where each
+    node's value comes from — an inactive column is the XOR of the
+    right-hand sides its dense-core combination names, a pivot is its
+    row's right-hand side XOR the row's other (earlier-determined)
+    participants — and batches those reads into dependency-levelled
+    waves for :meth:`SolvePlan.apply`.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    flat = np.asarray(participants, dtype=np.int64)
+    rhs_rows = np.asarray(rhs_rows, dtype=np.int64)
+    m = indptr.size - 1
+    num_nodes = int(num_nodes)
+    num_inputs = int(num_inputs)
+    if rhs_rows.size != m:
+        raise ParameterError(
+            f"rhs_rows names {rhs_rows.size} rows for {m} equations")
+    if m < num_nodes:
+        raise ParameterError(
+            f"{m} equations cannot determine {num_nodes} nodes")
+    if flat.size and np.any((flat < 0) | (flat >= num_nodes)):
+        raise ParameterError("equation participant outside node range")
+    if np.any(rhs_rows >= num_inputs) or np.any(rhs_rows < -1):
+        raise ParameterError("equation rhs outside input range")
+    # Row bitmasks over the node columns (cf. _st_decompose's residual
+    # masks — here nothing is known yet, so residual == original).
+    sizes = np.diff(indptr)
+    cnt = sizes.tolist()
+    masks: List[int] = []
+    scratch = np.zeros(num_nodes, dtype=np.uint8)
+    for p in range(m):
+        seg = flat[indptr[p]:indptr[p + 1]]
+        scratch[seg] = 1
+        masks.append(int.from_bytes(
+            np.packbits(scratch, bitorder="little").tobytes(), "little"))
+        scratch[seg] = 0
+    # Column -> rows adjacency, walked at most once per column.
+    eq_of = np.repeat(np.arange(m), sizes)
+    order = np.argsort(flat, kind="stable")
+    cols_s, eqs_s = flat[order], eq_of[order]
+    col_rows: Dict[int, List[int]] = {}
+    if cols_s.size:
+        starts, cols_u = _group_sorted(cols_s)
+        bounds = np.append(starts, cols_s.size)
+        for j, c in enumerate(cols_u.tolist()):
+            col_rows[c] = eqs_s[bounds[j]:bounds[j + 1]].tolist()
+    degs = np.bincount(flat, minlength=num_nodes)
+    inact_order = np.lexsort((np.arange(num_nodes), -degs)).tolist()
+    inact_ptr = 0
+    determined = bytearray(num_nodes)
+    row_inact = [0] * m
+    row_combo = [1 << p for p in range(m)]
+    is_pivot = [False] * m
+    inactive: List[int] = []
+    pivots: List[Tuple[int, int]] = []
+    remaining = num_nodes
+    frontier = [p for p in range(m) if cnt[p] == 1]
+    while remaining:
+        if not frontier:
+            c = inact_order[inact_ptr]
+            while determined[c]:
+                inact_ptr += 1
+                c = inact_order[inact_ptr]
+            determined[c] = 1
+            remaining -= 1
+            expr_i = 1 << len(inactive)
+            inactive.append(c)
+            bitc = 1 << c
+            for q in col_rows.get(c, []):
+                masks[q] ^= bitc
+                cnt[q] -= 1
+                row_inact[q] ^= expr_i
+                if cnt[q] == 1:
+                    frontier.append(q)
+            continue
+        next_frontier: List[int] = []
+        for p in frontier:
+            if cnt[p] != 1 or is_pivot[p]:
+                continue
+            c = masks[p].bit_length() - 1
+            is_pivot[p] = True
+            determined[c] = 1
+            remaining -= 1
+            pivots.append((c, p))
+            expr_i, expr_c = row_inact[p], row_combo[p]
+            bitc = 1 << c
+            for q in col_rows.get(c, []):
+                masks[q] ^= bitc
+                cnt[q] -= 1
+                if q != p:
+                    row_inact[q] ^= expr_i
+                    row_combo[q] ^= expr_c
+                    if cnt[q] == 1:
+                        next_frontier.append(q)
+        frontier = next_frontier
+    # Dense core over the inactive columns: echelon-fold the non-pivot
+    # rows, then back-substitute into one rhs-row combination per
+    # inactive column (cf. _st_backsubstitute).
+    basis: Dict[int, Tuple[int, int]] = {}
+    for p in range(m):
+        if not is_pivot[p]:
+            _st_fold_dense(basis, row_inact[p], row_combo[p])
+    if len(basis) < len(inactive):
+        raise ParameterError(
+            "solve plan requires a full-rank system "
+            f"(dense core rank {len(basis)} < {len(inactive)} "
+            "inactivated columns)")
+    combos = [0] * len(inactive)
+    for top in sorted(basis):
+        r, cb = basis[top]
+        r ^= 1 << top
+        while r:
+            low = r & -r
+            cb ^= combos[low.bit_length() - 1]
+            r ^= low
+        combos[top] = cb
+    # Per-node source rows in arena coordinates, plus dependency level.
+    zero_row = num_inputs
+    base = num_inputs + 1
+    level = np.zeros(num_nodes, dtype=np.int64)
+    srcs: List[Optional[List[int]]] = [None] * num_nodes
+    for t, col in enumerate(inactive):
+        rows: List[int] = []
+        cb = combos[t]
+        while cb:
+            low = cb & -cb
+            rp = int(rhs_rows[low.bit_length() - 1])
+            if rp >= 0:
+                rows.append(rp)
+            cb ^= low
+        srcs[col] = rows or [zero_row]
+    for c, p in pivots:
+        rows = []
+        rp = int(rhs_rows[p])
+        if rp >= 0:
+            rows.append(rp)
+        lvl = 0
+        for q in flat[indptr[p]:indptr[p + 1]].tolist():
+            if q == c:
+                continue
+            lvl = max(lvl, int(level[q]) + 1)
+            rows.append(base + q)
+        level[c] = lvl
+        srcs[c] = rows or [zero_row]
+    # Batch nodes into waves by level; within a wave, ascending node id.
+    waves: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for lvl in range(int(level.max()) + 1 if num_nodes else 0):
+        nodes = np.nonzero(level == lvl)[0]
+        if nodes.size == 0:
+            continue
+        seg_sizes = np.asarray([len(srcs[n]) for n in nodes.tolist()],
+                               dtype=np.int64)
+        wave_indptr = np.zeros(nodes.size + 1, dtype=np.int64)
+        np.cumsum(seg_sizes, out=wave_indptr[1:])
+        src = np.empty(int(wave_indptr[-1]), dtype=np.int64)
+        for j, n in enumerate(nodes.tolist()):
+            src[wave_indptr[j]:wave_indptr[j + 1]] = srcs[n]
+        waves.append((base + nodes.astype(np.int64), wave_indptr, src))
+    return SolvePlan(num_nodes=num_nodes, num_inputs=num_inputs,
+                     waves=tuple(waves))

@@ -9,15 +9,28 @@ See :mod:`repro.codes.raptor.precode` for the shared geometry,
 :mod:`repro.codes.raptor.code` for the public code family.
 """
 
+from repro.codes.raptor.cache import (
+    GeometryPlanCache,
+    RaptorAssets,
+    cache_stats,
+    cached_raptor_assets,
+    clear_cache,
+)
 from repro.codes.raptor.code import RaptorCode
 from repro.codes.raptor.decoder import RaptorDecoder
-from repro.codes.raptor.encoder import RaptorEncoder
+from repro.codes.raptor.encoder import RaptorEncoder, build_encode_plan
 from repro.codes.raptor.precode import RaptorGeometry, raptor_geometry
 
 __all__ = [
+    "GeometryPlanCache",
+    "RaptorAssets",
     "RaptorCode",
     "RaptorDecoder",
     "RaptorEncoder",
     "RaptorGeometry",
+    "build_encode_plan",
+    "cache_stats",
+    "cached_raptor_assets",
+    "clear_cache",
     "raptor_geometry",
 ]

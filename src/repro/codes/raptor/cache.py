@@ -1,0 +1,165 @@
+"""Process-wide Raptor geometry + solve-plan cache.
+
+Building a :class:`~repro.codes.raptor.precode.RaptorGeometry` is the
+expensive half of binding a Raptor code: the greedy systematic scan is
+O(k) GF(2) rank updates, and factoring the pre-solve system into a
+:class:`~repro.codes.peeling.SolvePlan` walks every edge of the joint
+constraint matrix.  Both depend only on the canonical parameter tuple
+``(k, eps, c, delta, seed)`` — never on payload bytes — so one process
+should pay them once per spec, no matter how many transfer blocks,
+:meth:`TransferServer.fork() <repro.transfer.server.TransferServer.fork>`
+serving copies, :class:`~repro.transfer.codec.ObjectCodec` rebuilds, or
+swarm threshold-pool samples ask for the same code.
+
+The cache is LRU-bounded (so sweeping many specs in one process — the
+hypothesis suites do — cannot grow memory without bound) and
+thread-safe.  Plans build lazily on first *encoder* use: decoder-only
+consumers (the structural simulations) never pay for a plan at all.
+Hit/miss/eviction counters back the ``repro codes cache-stats`` CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.codes.peeling import SolvePlan
+from repro.codes.raptor.encoder import build_encode_plan
+from repro.codes.raptor.precode import RaptorGeometry, raptor_geometry
+from repro.errors import ParameterError
+
+__all__ = [
+    "GeometryPlanCache",
+    "RaptorAssets",
+    "SHARED_CACHE",
+    "cache_stats",
+    "cached_raptor_assets",
+    "clear_cache",
+]
+
+#: default LRU bound — generous for real serving workloads (one entry
+#: per distinct spec string in flight) while keeping parameter sweeps
+#: from pinning every geometry they ever touched.
+_DEFAULT_MAXSIZE = 64
+
+_Key = Tuple[int, float, float, float, int]
+
+
+class RaptorAssets:
+    """One cache entry: a shared geometry plus its lazily built plan."""
+
+    __slots__ = ("geometry", "_plan", "_lock")
+
+    def __init__(self, geometry: RaptorGeometry):
+        self.geometry = geometry
+        self._plan: Optional[SolvePlan] = None
+        self._lock = threading.Lock()
+
+    @property
+    def plan_built(self) -> bool:
+        """True once some encoder paid for the solve plan."""
+        return self._plan is not None
+
+    def encode_plan(self) -> SolvePlan:
+        """The geometry's solve plan, factored on first request."""
+        plan = self._plan
+        if plan is None:
+            with self._lock:
+                plan = self._plan
+                if plan is None:
+                    plan = build_encode_plan(self.geometry)
+                    self._plan = plan
+        return plan
+
+
+class GeometryPlanCache:
+    """LRU mapping of ``(k, eps, c, delta, seed)`` to :class:`RaptorAssets`.
+
+    Keys are the normalised parameter tuple rather than the geometry
+    itself (frozen dataclasses holding numpy arrays neither hash nor
+    compare usefully), matching the registry's canonical spec form, so
+    every constructor path that agrees on parameters shares one entry.
+    """
+
+    def __init__(self, maxsize: int = _DEFAULT_MAXSIZE):
+        if maxsize <= 0:
+            raise ParameterError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[_Key, RaptorAssets]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, k: int, eps: float = 0.05, c: float = 0.03,
+            delta: float = 0.1, seed: int = 0) -> RaptorAssets:
+        """The shared assets for one spec, building them on first use."""
+        key: _Key = (int(k), float(eps), float(c), float(delta), int(seed))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self._misses += 1
+        # Build outside the lock — geometry construction is the slow
+        # part, and concurrent misses on *different* keys must not
+        # serialise on it.
+        built = RaptorAssets(raptor_geometry(int(k), eps=float(eps),
+                                             c=float(c), delta=float(delta),
+                                             seed=int(seed)))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                # Lost a same-key race; keep the first entry so geometry
+                # identity stays stable for everyone already holding it.
+                return entry
+            self._entries[key] = built
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return built
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability: hits, misses, evictions, fill."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "plans_cached": sum(1 for e in self._entries.values()
+                                    if e.plan_built),
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters (test isolation)."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: The process-wide instance every :class:`RaptorCode` resolves through.
+SHARED_CACHE = GeometryPlanCache()
+
+
+def cached_raptor_assets(k: int, eps: float = 0.05, c: float = 0.03,
+                         delta: float = 0.1, seed: int = 0) -> RaptorAssets:
+    """Shared-cache lookup; the one seam :class:`RaptorCode` builds via."""
+    return SHARED_CACHE.get(k, eps=eps, c=c, delta=delta, seed=seed)
+
+
+def cache_stats() -> Dict[str, int]:
+    """The shared cache's counters (see :meth:`GeometryPlanCache.stats`)."""
+    return SHARED_CACHE.stats()
+
+
+def clear_cache() -> None:
+    """Reset the shared cache (used by tests and benchmarks)."""
+    SHARED_CACHE.clear()

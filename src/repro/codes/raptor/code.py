@@ -40,9 +40,9 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.codes.raptor.cache import cached_raptor_assets
 from repro.codes.raptor.decoder import RaptorDecoder
 from repro.codes.raptor.encoder import RaptorEncoder
-from repro.codes.raptor.precode import raptor_geometry
 from repro.errors import DecodeFailure
 
 __all__ = ["RaptorCode"]
@@ -76,8 +76,13 @@ class RaptorCode:
                  delta: float = 0.1, seed: int = 0,
                  inactivation_limit: Optional[int] = None,
                  name: str = "raptor"):
-        self.geometry = raptor_geometry(k, eps=eps, c=c, delta=delta,
-                                        seed=seed)
+        # Geometry (and, lazily, the encode solve plan) comes from the
+        # process-wide spec-keyed cache: every block of a transfer, every
+        # fork()ed serving copy and every swarm sample of the same
+        # ``(k, eps, c, delta, seed)`` shares one build.
+        self._assets = cached_raptor_assets(k, eps=eps, c=c, delta=delta,
+                                            seed=seed)
+        self.geometry = self._assets.geometry
         self.k = self.geometry.k
         self.eps = self.geometry.eps
         self.c = self.geometry.c
@@ -110,8 +115,14 @@ class RaptorCode:
     # -- encoding --------------------------------------------------------------
 
     def encoder(self, source: np.ndarray) -> RaptorEncoder:
-        """Bind this code to a ``(k, P)`` source block for droplet output."""
-        return RaptorEncoder(self.geometry, source)
+        """Bind this code to a ``(k, P)`` source block for droplet output.
+
+        The bind replays the geometry's cached solve plan — pure XOR
+        waves, byte-identical to the engine pre-solve — so per-block
+        encode cost no longer includes a peeling decode.
+        """
+        return RaptorEncoder(self.geometry, source,
+                             plan=self._assets.encode_plan())
 
     def encode(self, source: np.ndarray, count: Optional[int] = None,
                start: int = 0) -> np.ndarray:

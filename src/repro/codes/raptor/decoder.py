@@ -38,7 +38,7 @@ from typing import Optional, Sequence, Set
 import numpy as np
 
 from repro.codes.lt.encoder import LTEncoder
-from repro.codes.peeling import PeelingEngine
+from repro.codes.peeling import PeelingEngine, _VECTOR_INTAKE_MIN
 from repro.codes.raptor.precode import RaptorGeometry
 from repro.errors import DecodeFailure, ParameterError
 
@@ -176,9 +176,11 @@ class RaptorDecoder(PeelingEngine):
         Either straight from the systematic cache (all ``k`` source
         packets arrived verbatim), or by re-encoding the solved
         intermediates at the systematic ESIs — one capped-degree XOR
-        pass.  Cached verbatim packets always win over re-encoded rows,
-        keeping the ids-below-``k`` round trip byte-exact by
-        construction rather than by arithmetic.
+        pass over the *missing* rows only: verbatim packets fill their
+        rows straight from the bank, keeping the ids-below-``k`` round
+        trip byte-exact by construction rather than by arithmetic, and
+        a low-loss receiver re-encodes a handful of rows instead of all
+        ``k``.
         """
         if self.values is None:
             raise ParameterError("structural engine holds no payloads")
@@ -189,9 +191,10 @@ class RaptorDecoder(PeelingEngine):
             raise DecodeFailure(
                 "source not fully recovered",
                 missing=self.geometry.k - self.source_known_count)
-        out = LTEncoder(self.spec, self.values).payload_block(
-            self.geometry.systematic_esis)
-        out[self._sys_mask] = self._sys_payloads[self._sys_mask]
+        out = self._sys_payloads.copy()
+        missing = ~self._sys_mask
+        out[missing] = LTEncoder(self.spec, self.values).payload_block(
+            self.geometry.systematic_esis[missing])
         return out
 
     # -- systematic id mapping -------------------------------------------------
@@ -244,9 +247,11 @@ class RaptorDecoder(PeelingEngine):
         Mirrors the LT decoder: the vectorized backend turns the whole
         batch into one :meth:`add_equations` call (all rows through one
         ``neighbour_block`` pass over the mapped ESIs) and considers
-        the inactivation fallback once, after the batch.
+        the inactivation fallback once, after the batch.  Sub-threshold
+        batches take the sequential path — per-droplet derivation beats
+        one-row CSR passes there (see the LT decoder's routing note).
         """
-        if self._vectorized:
+        if self._vectorized and len(indices) >= _VECTOR_INTAKE_MIN:
             return self._add_packets_batch(indices, payloads)
         fresh = 0
         for row, index in enumerate(indices):

@@ -25,17 +25,17 @@ After the bind:
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
 from repro.codes.base import as_packet_block
 from repro.codes.lt.encoder import LTEncoder
-from repro.codes.peeling import PeelingEngine
+from repro.codes.peeling import PeelingEngine, SolvePlan, record_solve_plan
 from repro.codes.raptor.precode import RaptorGeometry
 from repro.errors import DecodeFailure, ParameterError
 
-__all__ = ["RaptorEncoder", "presolve_intermediates"]
+__all__ = ["RaptorEncoder", "build_encode_plan", "presolve_intermediates"]
 
 
 def presolve_intermediates(geometry: RaptorGeometry,
@@ -69,6 +69,31 @@ def presolve_intermediates(geometry: RaptorGeometry,
     return engine.source_data()
 
 
+def build_encode_plan(geometry: RaptorGeometry) -> SolvePlan:
+    """Factor a geometry's pre-solve system into a reusable solve plan.
+
+    The joint system is fixed per *geometry*, not per payload — the
+    linear-time property Raptor constructions (and RFC 5053's
+    systematic index) are built around — so its elimination schedule
+    can be recorded once and replayed against every block's source
+    bytes as pure XOR passes.  Because the system is square and
+    invertible by the greedy ESI scan's construction, the plan's output
+    is byte-identical to :func:`presolve_intermediates` on every input.
+    """
+    con_indptr, con_flat = geometry.constraint_rows()
+    sys_flat, sys_indptr = geometry.spec.neighbour_block(
+        geometry.systematic_esis)
+    r = int(con_indptr.size - 1)
+    indptr = np.concatenate([con_indptr,
+                             int(con_indptr[-1]) + sys_indptr[1:]])
+    flat = np.concatenate([con_flat, sys_flat])
+    rhs_rows = np.concatenate([
+        np.full(r, -1, dtype=np.int64),           # constraints: zero rhs
+        np.arange(geometry.k, dtype=np.int64)])   # systematic: source rows
+    return record_solve_plan(geometry.intermediate_count, indptr, flat,
+                             rhs_rows, num_inputs=geometry.k)
+
+
 class RaptorEncoder:
     """Produces systematic Raptor droplets for one source block on demand.
 
@@ -78,12 +103,29 @@ class RaptorEncoder:
         The shared :class:`~repro.codes.raptor.precode.RaptorGeometry`.
     source:
         The ``(k, P)`` source packet block.
+    plan:
+        Optional recorded solve plan for this geometry (see
+        :func:`build_encode_plan`); when given, the pre-solve is a pure
+        XOR replay instead of a full engine decode.  :class:`RaptorCode
+        <repro.codes.raptor.code.RaptorCode>` always supplies the
+        process-cached plan; passing ``None`` keeps the engine path,
+        which the differential tests use as the oracle.
     """
 
-    def __init__(self, geometry: RaptorGeometry, source: np.ndarray):
+    def __init__(self, geometry: RaptorGeometry, source: np.ndarray,
+                 plan: Optional[SolvePlan] = None):
         self.geometry = geometry
         self.source = as_packet_block(source, geometry.k, dtype=np.uint8)
-        self.intermediates = presolve_intermediates(geometry, self.source)
+        if plan is not None:
+            if (plan.num_inputs != geometry.k
+                    or plan.num_nodes != geometry.intermediate_count):
+                raise ParameterError(
+                    f"solve plan shape ({plan.num_inputs} -> "
+                    f"{plan.num_nodes}) does not match geometry "
+                    f"({geometry.k} -> {geometry.intermediate_count})")
+            self.intermediates = plan.apply(self.source)
+        else:
+            self.intermediates = presolve_intermediates(geometry, self.source)
         self._lt = LTEncoder(geometry.spec, self.intermediates)
 
     @property

@@ -78,8 +78,10 @@ __all__ = [
     "available_codes",
     "block_seed",
     "build_code",
+    "collect_cache_stats",
     "incremental_decoder",
     "parse_spec",
+    "register_cache_stats",
     "register_code",
 ]
 
@@ -404,6 +406,29 @@ def available_codes() -> List[CodeFamily]:
     return list(REGISTRY)
 
 
+# -- cache observability -------------------------------------------------------
+
+#: named providers of build-cache counters (hits/misses/evictions...),
+#: surfaced by ``repro codes cache-stats``.  Providers are callables so
+#: registration stays lazy: nothing is built just to be countable.
+_CACHE_STATS_PROVIDERS: Dict[str, Callable[[], Dict[str, int]]] = {}
+
+
+def register_cache_stats(name: str,
+                         provider: Callable[[], Dict[str, int]]) -> None:
+    """Register a named cache-counter provider; raises on duplicates."""
+    if name in _CACHE_STATS_PROVIDERS:
+        raise ParameterError(f"cache stats provider {name!r} already "
+                             "registered")
+    _CACHE_STATS_PROVIDERS[name] = provider
+
+
+def collect_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Every registered cache's counters, keyed by provider name."""
+    return {name: dict(provider())
+            for name, provider in sorted(_CACHE_STATS_PROVIDERS.items())}
+
+
 # -- generic incremental decoding ----------------------------------------------
 
 
@@ -573,10 +598,18 @@ def _register_defaults() -> None:
     register_code(
         "lt", _lt, rateless=True,
         summary="LT rateless fountain: robust-soliton droplets, no n")
+    def _raptor_cache_stats() -> Dict[str, int]:
+        # Lazy import: asking for counters must not drag the raptor
+        # modules in before anything has built a raptor code.
+        from repro.codes.raptor.cache import cache_stats
+
+        return cache_stats()
+
     register_code(
         "raptor", _raptor, rateless=True,
         summary="Raptor: systematic precode + weakened fountain, "
                 "constant overhead")
+    register_cache_stats("raptor-geometry-plan", _raptor_cache_stats)
     register_code(
         "rs", _rs,
         summary="Reed-Solomon MDS baseline (cauchy or vandermonde)")

@@ -9,6 +9,16 @@ Reed-Solomon (``"rs"``).  Codes are built lazily and cached: a receiver
 that only needs block 17 never pays for the other blocks' graph
 construction.
 
+The per-instance cache composes with the process-wide Raptor
+geometry+plan cache (:mod:`repro.codes.raptor.cache`): raptor blocks
+resolve through it inside :class:`~repro.codes.raptor.RaptorCode`, so a
+receiver codec rebuilt via :meth:`ObjectCodec.from_manifest`, a
+:meth:`TransferServer.fork() <repro.transfer.server.TransferServer.fork>`
+serving copy, and repeated simulations of the same transfer all reuse
+one systematic scan and one encode solve plan per ``(k, params,
+block-seed)`` — the expensive build work is paid once per process, not
+once per codec instance.
+
 Per-block seeds are derived from one shared transfer seed with a
 golden-ratio mix (:func:`repro.codes.registry.block_seed`), so sender
 and receiver agree on every block's code graph / droplet spec from a
@@ -124,7 +134,13 @@ class ObjectCodec:
         return self.plan.total_packets
 
     def code_for(self, block: int) -> Any:
-        """The (cached) erasure code of ``block``."""
+        """The (cached) erasure code of ``block``.
+
+        Caching here keeps one bound code object per block for this
+        codec's lifetime; families with process-wide build caches
+        (raptor) additionally share the underlying geometry across
+        codec instances that agree on ``(k, params, block-seed)``.
+        """
         if block not in self._codes:
             spec = self.plan.spec(block)
             self._codes[block] = REGISTRY.build(

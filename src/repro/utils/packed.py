@@ -19,13 +19,14 @@ round-trip and the equivalence of lane-packed XOR with byte XOR.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ParameterError
 
-__all__ = ["LANE_BYTES", "pack_rows", "unpack_rows", "xor_view"]
+__all__ = ["LANE_BYTES", "apply_xor_schedule", "apply_xor_schedule_scalar",
+           "pack_rows", "unpack_rows", "xor_view"]
 
 #: bytes per packed lane (one uint64 word).
 LANE_BYTES = 8
@@ -79,3 +80,39 @@ def xor_view(block: np.ndarray) -> np.ndarray:
             and block.flags.c_contiguous):
         return block.view(np.uint64)
     return block
+
+
+def apply_xor_schedule(arena: np.ndarray,
+                       waves: Sequence[Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]]) -> None:
+    """Replay a recorded XOR schedule over an ``(rows, P)`` arena in place.
+
+    Each wave is ``(dst, indptr, src)``: row ``dst[j]`` becomes the XOR
+    of rows ``src[indptr[j]:indptr[j+1]]``, applied as one gather plus
+    one segmented ``bitwise_xor.reduceat`` per wave — through the uint64
+    lane view when the width packs.  The schedule recorder guarantees
+    every segment is non-empty (zero right-hand sides read a pinned
+    all-zero arena row) and that no wave reads a row it also writes, so
+    a whole wave is a single batched pass.
+    """
+    view = xor_view(arena)
+    for dst, indptr, src in waves:
+        view[dst] = np.bitwise_xor.reduceat(view[src], indptr[:-1], axis=0)
+
+
+def apply_xor_schedule_scalar(arena: np.ndarray,
+                              waves: Sequence[Tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray]]) -> None:
+    """Reference twin of :func:`apply_xor_schedule`: one row at a time.
+
+    Same schedule, same bytes — the loop XORs each destination's source
+    rows directly in uint8, which is the backend-discipline oracle the
+    differential tests compare the lane-packed replay against.
+    """
+    for dst, indptr, src in waves:
+        for j in range(dst.size):
+            lo, hi = int(indptr[j]), int(indptr[j + 1])
+            row = arena[src[lo]].copy()
+            for t in src[lo + 1:hi].tolist():
+                row ^= arena[t]
+            arena[dst[j]] = row

@@ -157,3 +157,26 @@ def assert_batched_identical(spec: str, k: int, payload_size: int,
                         <= sequential.packets_fed + slack), \
                     f"{label}: completion point outside chunk slack"
     return sequential
+
+
+def raptor_encode_pair(backend: str, k: int, payload_size: int,
+                       seed: int, **params: float):
+    """Raptor intermediates via the cached solve plan and the pre-solve.
+
+    Builds one geometry (through the process-wide cache, so the test
+    exercises the exact objects production encoders receive) and runs
+    the same source block through both encode paths under ``backend``:
+    the recorded-plan replay and the retired per-block peeling
+    pre-solve, which stays in the tree precisely to serve as this
+    oracle.  Returns ``(plan_bytes, presolve_bytes)``.
+    """
+    from repro.codes.raptor.cache import cached_raptor_assets
+    from repro.codes.raptor.encoder import RaptorEncoder
+
+    source = make_source(k, payload_size, seed)
+    with use_backend(backend):
+        assets = cached_raptor_assets(k, seed=seed, **params)
+        fast = RaptorEncoder(assets.geometry, source,
+                             plan=assets.encode_plan())
+        slow = RaptorEncoder(assets.geometry, source)
+    return fast.intermediates.tobytes(), slow.intermediates.tobytes()

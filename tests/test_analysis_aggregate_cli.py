@@ -188,6 +188,33 @@ class TestCli:
         assert "carousel" in out and "rateless" in out and "layered" in out
         assert "yes (no n)" in out  # lt is flagged rateless
 
+    def test_codes_cache_stats(self, capsys):
+        """cache-stats reports the raptor geometry+plan cache counters,
+        and they move when the shared cache is exercised."""
+        import json
+
+        from repro.codes.raptor.cache import cached_raptor_assets
+
+        assert cli.main(["codes", "cache-stats", "--json"]) == 0
+        before = json.loads(capsys.readouterr().out)
+        stats = before["caches"]["raptor-geometry-plan"]
+        assert {"size", "maxsize", "hits", "misses", "evictions",
+                "plans_cached"} <= set(stats)
+
+        cached_raptor_assets(12, seed=321)   # miss (or prior entry)
+        cached_raptor_assets(12, seed=321)   # guaranteed hit
+        assert cli.main(["codes", "cache-stats", "--json"]) == 0
+        after = json.loads(capsys.readouterr().out)["caches"][
+            "raptor-geometry-plan"]
+        assert after["hits"] > stats["hits"]
+        assert after["size"] >= 1
+
+        # The human-readable table carries the same counters.
+        assert cli.main(["codes", "cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "raptor-geometry-plan" in out
+        assert "hits:" in out and "misses:" in out
+
     def test_codes_list_json(self, capsys):
         """--json shares the table's rows, machine-readable."""
         import json

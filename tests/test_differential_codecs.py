@@ -125,3 +125,52 @@ def test_backend_never_changes_wire_bytes():
         vec = build_code("tornado-b", 64, seed=9).encode(
             make_source(64, 24, 9))
     assert np.array_equal(ref, vec)
+
+
+# -- raptor solve-plan encode path --------------------------------------------
+#
+# The cached-plan fast path must emit exactly the bytes the retired
+# per-block pre-solve produced — the pre-solve stays in the tree as the
+# oracle for these checks (see tests._oracles.raptor_encode_pair).
+
+RAPTOR_PLAN_CASES = [
+    ("defaults", 1, {}),
+    ("defaults", 2, {}),
+    ("defaults", 32, {}),
+    ("defaults", 100, {}),
+    ("defaults", 128, {}),
+    ("weakened", 48, {"eps": 0.1, "c": 0.05, "delta": 0.5}),
+]
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+@pytest.mark.parametrize("seed", [0, 7, 23])
+@pytest.mark.parametrize(
+    "label,k,params", RAPTOR_PLAN_CASES,
+    ids=[f"{label}-k{k}" for label, k, _ in RAPTOR_PLAN_CASES])
+def test_raptor_plan_matches_presolve(backend, label, k, params, seed):
+    from tests._oracles import raptor_encode_pair
+
+    fast, slow = raptor_encode_pair(backend, k, payload_size=32,
+                                    seed=seed, **params)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+@pytest.mark.parametrize("payload_size", [1, 7, 13, 61])
+def test_raptor_plan_odd_payload_sizes(backend, payload_size):
+    from tests._oracles import raptor_encode_pair
+
+    fast, slow = raptor_encode_pair(backend, 32, payload_size=payload_size,
+                                    seed=3)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_raptor_plan_backends_byte_identical(seed):
+    """Both backends replay one plan to the same intermediate bytes."""
+    from tests._oracles import raptor_encode_pair
+
+    ref = raptor_encode_pair("reference", 64, payload_size=17, seed=seed)
+    vec = raptor_encode_pair("vectorized", 64, payload_size=17, seed=seed)
+    assert ref[0] == vec[0]

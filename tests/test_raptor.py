@@ -22,9 +22,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codes.backend import use_backend
+from repro.codes.raptor.cache import GeometryPlanCache
 from repro.codes.raptor.code import RaptorCode
 from repro.codes.raptor.decoder import RaptorDecoder
-from repro.codes.raptor.encoder import RaptorEncoder, presolve_intermediates
+from repro.codes.raptor.encoder import (
+    RaptorEncoder,
+    build_encode_plan,
+    presolve_intermediates,
+)
 from repro.codes.raptor.precode import raptor_geometry, weakened_soliton
 from repro.codes.registry import build_code
 from repro.errors import DecodeFailure, ParameterError
@@ -248,3 +253,66 @@ class TestRegistryIntegration:
     def test_encoder_type(self):
         code = build_code("raptor", 20, seed=0)
         assert isinstance(code.encoder(_source(20, 4, 0)), RaptorEncoder)
+
+
+class TestSolvePlanProperties:
+    """Hypothesis: the recorded plan is exactly the engine's solution."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(k=st.integers(1, 48),
+           payload=st.integers(1, 40),
+           geom_seed=st.integers(0, 2 ** 16),
+           data_seed=st.integers(0, 2 ** 16))
+    def test_plan_apply_equals_engine_solve(self, k, payload, geom_seed,
+                                            data_seed):
+        geometry = raptor_geometry(k, seed=geom_seed)
+        plan = build_encode_plan(geometry)
+        rng = np.random.default_rng(data_seed)
+        source = rng.integers(0, 256, size=(k, payload), dtype=np.uint8)
+        assert np.array_equal(plan.apply(source),
+                              presolve_intermediates(geometry, source))
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.integers(1, 40),
+           seed=st.integers(0, 2 ** 16),
+           delta_k=st.integers(1, 8))
+    def test_cache_never_shares_across_specs(self, k, seed, delta_k):
+        """Distinct parameter tuples resolve to distinct assets/plans;
+        the same tuple resolves to the identical objects."""
+        cache = GeometryPlanCache()
+        base = cache.get(k, seed=seed)
+        again = cache.get(k, seed=seed)
+        assert again is base
+        assert again.encode_plan() is base.encode_plan()
+        other_k = cache.get(k + delta_k, seed=seed)
+        other_seed = cache.get(k, seed=seed + 1)
+        other_eps = cache.get(k, eps=0.1, seed=seed)
+        for other in (other_k, other_seed, other_eps):
+            assert other is not base
+            assert other.encode_plan() is not base.encode_plan()
+        assert other_k.geometry.k == k + delta_k
+
+    def test_cache_eviction_bound_and_counters(self):
+        cache = GeometryPlanCache(maxsize=3)
+        for k in (4, 5, 6, 7):
+            cache.get(k, seed=1)
+        stats = cache.stats()
+        assert len(cache) == 3
+        assert stats["evictions"] == 1
+        assert stats["misses"] == 4
+        # 4 was evicted (LRU); fetching it again is a miss...
+        cache.get(4, seed=1)
+        # ...and 7 stayed resident, so this is a hit.
+        cache.get(7, seed=1)
+        stats = cache.stats()
+        assert stats["misses"] == 5
+        assert stats["hits"] == 1
+
+    def test_shared_cache_serves_registry_codes(self):
+        """Two RaptorCode builds with one spec share geometry and plan."""
+        a = RaptorCode(24, seed=99)
+        b = RaptorCode(24, seed=99)
+        assert a.geometry is b.geometry
+        source = np.arange(24 * 8, dtype=np.uint8).reshape(24, 8)
+        assert np.array_equal(a.encoder(source).intermediates,
+                              b.encoder(source).intermediates)

@@ -196,14 +196,61 @@ class TestCrossCase:
     def test_decode_throughput_ratio_fails_on_collapse(self):
         payload = {"results": [
             {"case": "raw-lt-k128", "decode_MBps_vectorized": 20.0,
-             "decode_MBps_reference": 8.0},
+             "decode_MBps_reference": 8.0,
+             "encode_MBps_vectorized": 100.0},
             {"case": "raw-raptor-k128", "decode_MBps_vectorized": 1.0,
-             "decode_MBps_reference": 4.0},
+             "decode_MBps_reference": 4.0,
+             "encode_MBps_vectorized": 80.0},
         ]}
         regressions = check_bench.check_cross_cases(
             "BENCH_transfer.json", payload)
         assert len(regressions) == 1
         assert "vectorized backend" in str(regressions[0])
+
+    def test_raptor_encode_ratio_fails_on_collapse(self):
+        payload = {"results": [
+            {"case": "raw-lt-k128", "decode_MBps_vectorized": 20.0,
+             "decode_MBps_reference": 8.0,
+             "encode_MBps_vectorized": 100.0},
+            {"case": "raw-raptor-k128", "decode_MBps_vectorized": 10.0,
+             "decode_MBps_reference": 4.0,
+             "encode_MBps_vectorized": 30.0},
+        ]}
+        regressions = check_bench.check_cross_cases(
+            "BENCH_transfer.json", payload)
+        assert len(regressions) == 1
+        assert "LT/2" in str(regressions[0])
+
+    def test_case_floor_holds_and_fails(self):
+        def transfer_payload(b1_speedup, raptor_mbps):
+            return {"results": [
+                {"case": "ingest-lt-k128-b1",
+                 "ingest_speedup": b1_speedup},
+                {"case": "raptor-bk128",
+                 "throughput_MBps": raptor_mbps},
+            ]}
+
+        assert check_bench.check_case_floors(
+            "BENCH_transfer.json", transfer_payload(1.4, 22.0)) == []
+        regressions = check_bench.check_case_floors(
+            "BENCH_transfer.json", transfer_payload(0.8, 22.0))
+        assert len(regressions) == 1
+        assert "batch-size-1" in str(regressions[0])
+        regressions = check_bench.check_case_floors(
+            "BENCH_transfer.json", transfer_payload(1.4, 12.0))
+        assert len(regressions) == 1
+        assert "cached-solve-plan" in str(regressions[0])
+        # Floors are file-scoped, like the cross-case rules.
+        assert check_bench.check_case_floors(
+            "BENCH_other.json", transfer_payload(0.1, 0.1)) == []
+
+    def test_case_floor_missing_metric_fails(self):
+        payload = {"results": [{"case": "raptor-bk128", "seconds": 0.02}]}
+        regressions = check_bench.check_case_floors(
+            "BENCH_transfer.json", payload)
+        assert len(regressions) == 2
+        assert any("case floor needs this metric" in str(r)
+                   for r in regressions)
 
     def test_cross_case_violation_fails_main(self, tmp_path, capsys):
         base_dir = tmp_path / "baseline"

@@ -20,6 +20,10 @@ baselines, metric by metric, with per-metric tolerance rules:
 * a case or metric present in the baseline but missing from the fresh
   run is a regression (coverage must not silently shrink); new cases
   and metrics are reported but pass;
+* *case floors* (``CASE_FLOORS``) pin one metric of one named case to
+  an absolute minimum on the fresh payload — hard perf contracts (the
+  batch-size-1 ingest ratio, the raptor bk128 transfer rate) that must
+  hold regardless of what the baseline drifted to;
 * *cross-case claims* (``CROSS_CASE_RULES``) are one-sided inequalities
   between two cases of the same fresh summary — e.g. the systematic
   Raptor claim that its p99 reception overhead undercuts the plain-LT
@@ -88,6 +92,24 @@ DEFAULT_RULE = ("both", {"abs_tol": 1e-9, "rel_tol": 0.5})
 #: seeded runs, so the ratio is exact; throughput claims get the same
 #: generous factor the timing rules use (shared CI hardware wobbles,
 #: but a same-machine ratio collapse is a real regression).
+#: absolute per-case floors, evaluated on the fresh payload alone:
+#: ``(file, case, metric, floor, claim)`` fails whenever the fresh
+#: value dips below ``floor``.  Unlike the pattern-matched metric rules
+#: these name one case, so the same metric can carry a hard contract in
+#: one row and stay advisory elsewhere.
+CASE_FLOORS: List[Tuple[str, str, str, float, str]] = [
+    # Sub-threshold batches must never be slower than scalar intake:
+    # the batch-size-1 routing fix is a same-machine ratio, so >= 1.0
+    # is the contract, not a tolerance.
+    ("BENCH_transfer.json", "ingest-lt-k128-b1", "ingest_speedup", 1.0,
+     "batch-size-1 ingest fell behind the reference scalar path"),
+    # The raptor encode fast path (cached solve plans): the
+    # block-segmented raptor transfer must hold >= 3x its pre-plan
+    # committed baseline of 7.79 MB/s end to end.
+    ("BENCH_transfer.json", "raptor-bk128", "throughput_MBps", 20.0,
+     "raptor bk128 transfer lost the cached-solve-plan speedup"),
+]
+
 CROSS_CASE_RULES: List[Tuple[str, Tuple[str, str], str, float,
                              Tuple[str, str], str]] = [
     # The constant-overhead headline: on the identical mobile-trace
@@ -108,6 +130,13 @@ CROSS_CASE_RULES: List[Tuple[str, Tuple[str, str], str, float,
      ("raw-raptor-k128", "decode_MBps_reference"), ">=", 0.25,
      ("raw-lt-k128", "decode_MBps_reference"),
      "raptor decode fell out of LT-class (reference backend)"),
+    # The cached-plan encode path: raw raptor encode (pre-solve included)
+    # must stay within 2x of plain LT encode on the fast backend — the
+    # pre-plan implementation sat at ~4x behind.
+    ("BENCH_transfer.json",
+     ("raw-raptor-k128", "encode_MBps_vectorized"), ">=", 0.5,
+     ("raw-lt-k128", "encode_MBps_vectorized"),
+     "raptor encode fell out of the LT/2 class (cached solve plans)"),
 ]
 
 
@@ -219,6 +248,28 @@ def compare_payloads(file_name: str, baseline: dict, current: dict
     return regressions, notes
 
 
+def check_case_floors(file_name: str, current: dict) -> List[Regression]:
+    """Evaluate every :data:`CASE_FLOORS` entry for one summary."""
+    regressions: List[Regression] = []
+    rows = _rows_by_case(current, f"current {file_name}")
+    for rule_file, case, metric, floor, claim in CASE_FLOORS:
+        if rule_file != file_name:
+            continue
+        row = rows.get(case)
+        value = None if row is None else row.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            regressions.append(Regression(
+                file_name, case, metric,
+                f"case floor needs this metric, got {value!r} ({claim})"))
+            continue
+        if value < floor:
+            regressions.append(Regression(
+                file_name, case, metric,
+                f"{value} is below the absolute floor of {floor:g}: "
+                f"{claim}"))
+    return regressions
+
+
 def check_cross_cases(file_name: str, current: dict
                       ) -> List[Regression]:
     """Evaluate every :data:`CROSS_CASE_RULES` entry for one summary."""
@@ -314,6 +365,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.current_dir, args.baseline_dir, args.baseline_git,
             args.pattern):
         regressions, notes = compare_payloads(name, baseline, current)
+        regressions.extend(check_case_floors(name, current))
         regressions.extend(check_cross_cases(name, current))
         for note in notes:
             print(note)
