@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-reference coverage test-udp bench-smoke bench-transfer \
-	bench-ingest bench-raptor bench-udp bench-swarm bench-gate \
+	bench-ingest bench-raptor bench-adaptive bench-udp bench-swarm \
+	bench-gate \
 	swarm-smoke docs-check typecheck all
 
 all: test docs-check typecheck
@@ -68,6 +69,12 @@ bench-ingest:
 # of the two encode paths is asserted in-bench).
 bench-raptor:
 	$(PYTHON) -m pytest -q benchmarks/bench_raptor_encode.py
+
+# Closed-loop vs open-loop delivery on the Gilbert satellite population
+# (regenerates BENCH_adaptive.json; the >=15% p99 win is asserted
+# in-bench and cross-case locked by bench-gate on both backends).
+bench-adaptive:
+	$(PYTHON) -m pytest -q benchmarks/bench_adaptive.py
 
 # UDP loopback delivery: sender spray rate + end-to-end goodput.
 bench-udp:

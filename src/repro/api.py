@@ -64,6 +64,12 @@ from repro.errors import DecodeFailure, ReproError
 from repro.fountain.metrics import ReceptionStats
 from repro.fountain.packets import EncodingPacket
 from repro.net.transport.base import ServeReport, Subscription, Transport
+from repro.protocol.adaptive import AdaptivePolicy
+from repro.protocol.feedback import (
+    FeedbackReport,
+    LossEstimator,
+    report_from_client,
+)
 from repro.net.transport.file import (
     MANIFEST_NAME,
     STREAM_NAME,
@@ -85,6 +91,8 @@ from repro.transfer.server import TransferServer
 __all__ = [
     "MANIFEST_NAME",
     "STREAM_NAME",
+    "AdaptivePolicy",
+    "FeedbackReport",
     "ReceiveReport",
     "ReceiverSession",
     "Scenario",
@@ -96,6 +104,9 @@ __all__ = [
     "run_scenario",
     "send_file",
 ]
+
+#: packets between periodic feedback reports when reporting is on.
+REPORT_INTERVAL = 128
 
 
 class SenderSession:
@@ -169,13 +180,26 @@ class SenderSession:
         """
         return self.server.fork(seed=seed, schedule=schedule)
 
-    def serve(self, transport: Transport, **options: Any) -> ServeReport:
+    def serve(self, transport: Transport, *,
+              policy: Optional[AdaptivePolicy] = None,
+              feedback: Optional[Any] = None,
+              **options: Any) -> ServeReport:
         """Serve this session's stream through any registered transport.
 
-        ``options`` pass straight to the transport's ``serve`` —
-        ``count``/``extra`` for memory and file, ``count``/``duration``/
-        ``stop`` for UDP.
+        ``policy`` plugs an :class:`~repro.protocol.adaptive.
+        AdaptivePolicy` into the serve loop: transports with a feedback
+        path (memory, UDP) route receiver reports into it and apply its
+        rate / block-schedule decisions to the live stream.
+        ``feedback`` is an optional callable receiving every decoded
+        :class:`~repro.protocol.feedback.FeedbackReport` (observability
+        taps, tests).  Remaining ``options`` pass straight to the
+        transport's ``serve`` — ``count``/``extra`` for memory and
+        file, ``count``/``duration``/``stop`` for UDP.
         """
+        if policy is not None:
+            options["policy"] = policy
+        if feedback is not None:
+            options["feedback"] = feedback
         return transport.serve(self, **options)
 
     def manifest(self, **extra: object) -> dict:
@@ -198,9 +222,28 @@ class SenderSession:
 
 
 class ReceiverSession:
-    """Consume a packet stream described by a manifest until complete."""
+    """Consume a packet stream described by a manifest until complete.
 
-    def __init__(self, manifest: dict):
+    Parameters
+    ----------
+    manifest:
+        The sender's JSON-able manifest (geometry + code spec).
+    report:
+        Feedback reporting: ``None``/``False`` stays silent (the
+        paper's pure open-loop receiver), ``True`` reports every
+        :data:`REPORT_INTERVAL` packets, an int sets the interval.
+        Reports carry the serial-gap loss EWMA and per-block decode
+        deficits; transport ``feed`` loops forward them through the
+        subscription's feedback path.
+    receiver_id:
+        Identifier stamped into this session's reports (keys the
+        sender's staleness decay; give concurrent receivers distinct
+        ids).
+    """
+
+    def __init__(self, manifest: dict, *,
+                 report: Union[bool, int, None] = None,
+                 receiver_id: int = 0):
         self.manifest = manifest
         self.codec = ObjectCodec.from_manifest(manifest)
         self.client = TransferClient(self.codec)
@@ -214,17 +257,31 @@ class ReceiverSession:
         self.record_size = record_size(manifest)
         self.header_size = self.record_size - self.codec.plan.packet_size
         self.packets_used = 0
+        self.receiver_id = int(receiver_id)
+        if report is None or report is False:
+            self.report_interval: Optional[int] = None
+        elif report is True:
+            self.report_interval = REPORT_INTERVAL
+        else:
+            self.report_interval = max(1, int(report))
+        self.loss_estimator = LossEstimator()
+        self._reported_at = 0
+        self._final_reported = False
 
     @classmethod
     def from_subscription(cls, subscription: Subscription,
-                          timeout: Optional[float] = None
-                          ) -> "ReceiverSession":
+                          timeout: Optional[float] = None, *,
+                          report: Union[bool, int, None] = None,
+                          receiver_id: int = 0) -> "ReceiverSession":
         """A session built from a transport subscription's manifest.
 
         Waits for the manifest on live transports (UDP re-sends it
-        in-band); drive the session with ``subscription.feed(session)``.
+        in-band); drive the session with ``subscription.feed(session)``,
+        which also relays any due feedback reports back to the sender
+        when ``report`` enables them.
         """
-        return cls(subscription.manifest(timeout=timeout))
+        return cls(subscription.manifest(timeout=timeout),
+                   report=report, receiver_id=receiver_id)
 
     @property
     def code_spec(self) -> str:
@@ -238,10 +295,47 @@ class ReceiverSession:
     def progress(self) -> float:
         return self.client.progress
 
+    @property
+    def loss_estimate(self) -> float:
+        """The serial-gap loss EWMA (0.0 until reporting observes gaps)."""
+        return self.loss_estimator.loss
+
+    @property
+    def reporting(self) -> bool:
+        return self.report_interval is not None
+
+    def feedback_report(self) -> FeedbackReport:
+        """This session's current state as a feedback wire frame."""
+        return report_from_client(self.client,
+                                  receiver_id=self.receiver_id,
+                                  loss=self.loss_estimate,
+                                  packets_used=self.packets_used)
+
+    def maybe_report(self) -> Optional[FeedbackReport]:
+        """A report if one is due, else None (the ``feed``-loop hook).
+
+        Reports fire every ``report_interval`` consumed packets, plus
+        exactly one final report once the decode completes; sessions
+        built without ``report=`` never produce any.
+        """
+        if self.report_interval is None:
+            return None
+        if self.is_complete:
+            if self._final_reported:
+                return None
+            self._final_reported = True
+            return self.feedback_report()
+        if self.packets_used - self._reported_at < self.report_interval:
+            return None
+        self._reported_at = self.packets_used
+        return self.feedback_report()
+
     def receive(self, packet: EncodingPacket) -> bool:
         """Ingest one packet; True once every block is decodable."""
         if not self.client.is_complete:
             self.packets_used += 1
+            if self.reporting:
+                self.loss_estimator.observe([packet.header.serial])
         return self.client.receive(packet)
 
     def receive_record(self, record: bytes) -> bool:
@@ -282,6 +376,8 @@ class ReceiverSession:
         buf = np.frombuffer(b"".join(records), dtype=np.uint8)
         buf = buf.reshape(len(records), self.record_size)
         ids = buf[:, 0:4].view(">u4").ravel().astype(np.int64)
+        serials = (buf[:, 4:8].view(">u4").ravel().astype(np.int64)
+                   if self.reporting else None)
         if self.block_aware:
             blocks = buf[:, 12:16].view(">u4").ravel().astype(np.int64)
         else:
@@ -296,6 +392,8 @@ class ReceiverSession:
             take = min(max(1, deficit), total - pos)
             sel = slice(pos, pos + take)
             self.packets_used += take
+            if serials is not None:
+                self.loss_estimator.observe(serials[sel].tolist())
             chunk_blocks = blocks[sel]
             for b in np.unique(chunk_blocks):
                 rows = chunk_blocks == b
@@ -433,8 +531,8 @@ def receive_stream(in_dir: Union[str, pathlib.Path],
     are insufficient (re-send with more ``extra``).
     """
     subscription = FileTransport(in_dir).subscribe()
-    manifest = subscription.manifest()
-    session = ReceiverSession(manifest)
+    session = ReceiverSession.from_subscription(subscription)
+    manifest = session.manifest
     subscription.feed(session)
     if not session.is_complete:
         raise DecodeFailure(

@@ -367,6 +367,10 @@ def _check_serve_flags(args: argparse.Namespace) -> None:
         if args.manifest_interval != 64:
             raise ReproError(
                 "--manifest-interval only applies to --transport udp")
+        if args.adaptive:
+            raise ReproError(
+                "--adaptive only applies to --transport udp (a recorded "
+                "stream has no feedback return path)")
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -386,6 +390,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"({session.code_spec} x {session.num_blocks} blocks) — "
                   "interrupt to stop", file=sys.stderr)
         options = {"count": args.count, "duration": args.duration}
+        if args.adaptive:
+            from repro.protocol.adaptive import AdaptivePolicy
+
+            options["policy"] = AdaptivePolicy()
     else:
         options = {"count": args.count, "extra": args.extra}
     try:
@@ -399,6 +407,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"{report.dropped} loss-injected) to {dests} "
           f"in {report.duration:.2f}s "
           f"({report.packets_per_second:,.0f} pkt/s)")
+    if args.adaptive:
+        print(f"adaptive: {report.feedback_frames} receiver feedback "
+              "frames heard")
     print(f"{session.code_spec} x {session.num_blocks} blocks, "
           f"schedule={session.schedule}, k={session.total_k}")
     return 0
@@ -421,7 +432,8 @@ def cmd_fetch(args: argparse.Namespace) -> int:
     try:
         with subscription:
             session = api.ReceiverSession.from_subscription(
-                subscription, timeout=args.timeout)
+                subscription, timeout=args.timeout,
+                report=True if args.report else None)
             subscription.feed(session, timeout=args.timeout)
     except ProtocolError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -482,11 +494,19 @@ def _print_swarm_summary(summary: dict) -> None:
 
 
 def cmd_swarm_run(args: argparse.Namespace) -> int:
-    from repro.sim.swarm import run_scenario
+    from repro.sim.swarm import Scenario, run_scenario
 
-    result = run_scenario(args.scenario, workers=args.workers,
+    scenario = Scenario.load(args.scenario)
+    if args.loss_preset is not None:
+        scenario = scenario.with_loss(args.loss_preset)
+    policy = None
+    if args.adaptive:
+        from repro.protocol.adaptive import AdaptivePolicy
+
+        policy = AdaptivePolicy()
+    result = run_scenario(scenario, workers=args.workers,
                           spot_check=args.spot_check,
-                          receivers=args.receivers)
+                          receivers=args.receivers, policy=policy)
     summary = result.summary()
     _print_swarm_summary(summary)
     if args.json_out:
@@ -645,6 +665,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--manifest-interval", type=int, default=64,
                        help="udp: data packets between in-band manifest "
                             "frames")
+    serve.add_argument("--adaptive", action="store_true",
+                       help="udp: listen for receiver feedback reports "
+                            "and adapt pacing and block schedule "
+                            "(receivers opt in with `fetch --report`)")
     serve.add_argument("--packet-size", type=int, default=1024)
     serve.add_argument("--block-size", type=int, default=256 * 1024)
     serve.add_argument("--schedule", default="interleave",
@@ -665,6 +689,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="delivery transport (default: udp)")
     fetch.add_argument("--timeout", type=float, default=10.0,
                        help="udp: seconds of silence before giving up")
+    fetch.add_argument("--report", action="store_true",
+                       help="send periodic feedback reports (loss "
+                            "estimate, lagging blocks) back to an "
+                            "adaptive sender")
     fetch.set_defaults(func=cmd_fetch)
 
     swarm = sub.add_parser(
@@ -685,6 +713,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="validate against this many exact "
                                 "TransferClient replays (exit 1 on "
                                 "disagreement)")
+    swarm_run.add_argument("--loss-preset", default=None,
+                           help="override every group's loss process with "
+                                "a named wireless preset (gprs-pedestrian, "
+                                "gprs-vehicular, wireless-testbed)")
+    swarm_run.add_argument("--adaptive", action="store_true",
+                           help="run the closed loop: per-sweep feedback "
+                                "aggregation drives the adaptive sender's "
+                                "block schedule (single-process)")
     swarm_run.add_argument("--json", dest="json_out", default=None,
                            help="also write the summary to this JSON file")
     swarm_run.set_defaults(func=cmd_swarm_run)

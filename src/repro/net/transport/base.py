@@ -35,7 +35,12 @@ datagram is self-delimiting and can carry control frames in-band::
 ``FRAME_DATA`` bodies are wire records (the existing 12/16-byte header
 plus payload, exactly as written to ``stream.pkt``); ``FRAME_MANIFEST``
 bodies are the UTF-8 JSON manifest, re-sent periodically so a receiver
-can join mid-stream and still learn the object geometry.
+can join mid-stream and still learn the object geometry;
+``FRAME_FEEDBACK`` bodies are :class:`~repro.protocol.feedback.
+FeedbackReport` frames travelling the *other* way — the receiver→sender
+control plane an adaptive sender listens on.  Feedback is best-effort
+by design: a transport without a return path (file) simply drops it,
+and a fountain sender missing every report just stays open-loop.
 """
 
 from __future__ import annotations
@@ -51,6 +56,7 @@ __all__ = [
     "EMISSION_LIMIT_FACTOR",
     "FEED_BATCH",
     "FRAME_DATA",
+    "FRAME_FEEDBACK",
     "FRAME_MANIFEST",
     "ServeReport",
     "Subscription",
@@ -72,6 +78,8 @@ FEED_BATCH = 256
 FRAME_DATA = 0x01
 #: frame type carrying the UTF-8 JSON manifest.
 FRAME_MANIFEST = 0x02
+#: frame type carrying a receiver→sender feedback report.
+FRAME_FEEDBACK = 0x03
 
 _FRAME_HEAD = struct.Struct(">BH")
 
@@ -131,6 +139,9 @@ class ServeReport:
     #: socket errors observed while sending (ICMP unreachable etc.) —
     #: survivable for a fountain, but visible to operators.
     socket_errors: int = 0
+    #: receiver feedback reports decoded during the serve (adaptive
+    #: senders; always 0 on transports without a return path).
+    feedback_frames: int = 0
 
     @property
     def packets_per_second(self) -> float:
@@ -177,6 +188,17 @@ class Subscription(ABC):
         if batch:
             yield batch
 
+    def send_feedback(self, report: Any) -> bool:
+        """Send a feedback report back to the sender, best-effort.
+
+        Returns True when the report was placed on a return path.  The
+        default is the documented no-op — transports without a
+        receiver→sender channel (recorded files) drop feedback, and a
+        fountain works open-loop regardless.  ``report`` is a
+        :class:`~repro.protocol.feedback.FeedbackReport`.
+        """
+        return False
+
     def feed(self, session: Any,
              timeout: Optional[float] = None) -> bool:
         """Drive a receiver session from this feed until it completes.
@@ -186,17 +208,37 @@ class Subscription(ABC):
         ones.  Sessions exposing ``receive_records`` (the
         :class:`repro.api.ReceiverSession` batch ingest) are driven one
         batch per call; the per-record path remains for bare sessions.
+
+        Sessions with reporting enabled (``maybe_report`` returning a
+        due :class:`~repro.protocol.feedback.FeedbackReport`) have their
+        reports forwarded through :meth:`send_feedback` after every
+        ingest batch — including the final complete-report, so an
+        adaptive sender hears about the finished decode.
         """
         ingest = getattr(session, "receive_records", None)
+        reporter = getattr(session, "maybe_report", None)
+
+        def relay() -> None:
+            if reporter is not None:
+                report = reporter()
+                if report is not None:
+                    self.send_feedback(report)
+
         if not session.is_complete:
             if ingest is not None:
                 for batch in self.record_batches(timeout=timeout):
-                    if ingest(batch):
+                    done = ingest(batch)
+                    relay()
+                    if done:
                         break
             else:
                 for record in self.records(timeout=timeout):
-                    if session.receive_record(record):
+                    done = session.receive_record(record)
+                    relay()
+                    if done:
                         break
+        else:
+            relay()
         return bool(session.is_complete)
 
     def receive(self, manifest: Optional[dict] = None,

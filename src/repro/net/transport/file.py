@@ -95,6 +95,16 @@ class FileSubscription(Subscription):
         for offset in range(0, len(raw), size):
             yield raw[offset:offset + size]
 
+    def send_feedback(self, report: Any) -> bool:
+        """The contract's documented no-op: a recording has no sender.
+
+        Feedback from a receiver replaying ``stream.pkt`` is dropped on
+        the floor (returning False) — the sender that wrote the
+        directory is long gone, and the fountain decodes open-loop
+        regardless.
+        """
+        return False
+
 
 @register_transport
 class FileTransport(Transport):
@@ -126,15 +136,22 @@ class FileTransport(Transport):
         return FileSubscription(self.directory)
 
     def serve(self, session: Any, *, count: Optional[int] = None,
-              extra: int = 0, **options: Any) -> ServeReport:
+              extra: int = 0, policy: Any = None, feedback: Any = None,
+              **options: Any) -> ServeReport:
         """Record the stream's survivors; write the manifest on success.
+
+        ``policy``/``feedback`` are accepted and ignored — the feedback
+        no-op of the transport contract: a recorded stream has no
+        receivers while it is being written, so there is nothing to
+        adapt to and no report will ever arrive.
 
         Raises :class:`~repro.errors.ReproError` when the channel is
         too lossy to finish within the emission budget.
         """
         if options:
             raise ProtocolError(
-                f"file serve takes count/extra only, got {options}")
+                f"file serve takes count/extra/policy/feedback only, "
+                f"got {options}")
         from repro.transfer.client import TransferClient
 
         channel = LossyChannel(BernoulliLoss(self.loss), rng=self.seed)

@@ -9,12 +9,22 @@ serve loop shadows every subscriber with a structural (payload-less)
 decoder so it knows when everyone has enough and can stop on its own —
 the in-process stand-in for "the receiver walks away from the
 fountain".
+
+The feedback path is in-process too: subscriptions enqueue encoded
+:class:`~repro.protocol.feedback.FeedbackReport` frames on the
+transport (``send_feedback``), and an adaptive serve
+(``serve(policy=...)``) both drains that queue and synthesises periodic
+reports from its structural shadows — the memory-transport stand-in for
+live receivers reporting mid-stream, since buffered subscribers only
+consume after the serve returns.  Reports round-trip through the wire
+encoding either way, so the memory path exercises the exact frames UDP
+moves.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
 from repro.errors import ProtocolError, ReproError
 from repro.net.channel import LossyChannel
@@ -26,6 +36,8 @@ from repro.net.transport.base import (
     Transport,
     register_transport,
 )
+from repro.protocol.adaptive import AdaptivePolicy
+from repro.protocol.feedback import FeedbackReport, report_from_client
 from repro.utils.rng import ensure_rng, spawn_rng
 
 __all__ = ["MemoryTransport", "MemorySubscription"]
@@ -34,8 +46,10 @@ __all__ = ["MemoryTransport", "MemorySubscription"]
 class MemorySubscription(Subscription):
     """One subscriber's buffered view of a memory-served stream."""
 
-    def __init__(self, channel: LossyChannel):
+    def __init__(self, channel: LossyChannel,
+                 transport: Optional["MemoryTransport"] = None):
         self.channel = channel
+        self.transport = transport
         self._records: List[bytes] = []
         self._manifest: Optional[dict] = None
 
@@ -53,6 +67,13 @@ class MemorySubscription(Subscription):
 
     def records(self, timeout: Optional[float] = None) -> Iterator[bytes]:
         yield from self._records
+
+    def send_feedback(self, report: FeedbackReport) -> bool:
+        """Enqueue an encoded report on the transport's feedback queue."""
+        if self.transport is None:
+            return False
+        self.transport.feedback_queue.append(report.encode())
+        return True
 
 
 @register_transport
@@ -75,6 +96,8 @@ class MemoryTransport(Transport):
         self.loss = float(loss)
         self.seed = seed
         self.subscriptions: List[MemorySubscription] = []
+        #: encoded feedback frames awaiting the sender (FIFO).
+        self.feedback_queue: List[bytes] = []
 
     def subscribe(self, **options: Any) -> MemorySubscription:
         if options:
@@ -83,21 +106,48 @@ class MemoryTransport(Transport):
         rng = (ensure_rng(None) if self.seed is None
                else spawn_rng(self.seed, len(self.subscriptions)))
         sub = MemorySubscription(LossyChannel(BernoulliLoss(self.loss),
-                                              rng=rng))
+                                              rng=rng), transport=self)
         self.subscriptions.append(sub)
         return sub
 
+    def drain_feedback(self, policy: Optional[AdaptivePolicy] = None,
+                       feedback: Optional[Callable[[FeedbackReport], Any]]
+                       = None, now: float = 0.0) -> List[FeedbackReport]:
+        """Decode and hand out every queued feedback frame."""
+        reports = []
+        while self.feedback_queue:
+            report = FeedbackReport.decode(self.feedback_queue.pop(0))
+            reports.append(report)
+            if policy is not None:
+                policy.observe(report, now=now)
+            if feedback is not None:
+                feedback(report)
+        return reports
+
     def serve(self, session: Any, *, count: Optional[int] = None,
-              extra: int = 0, **options: Any) -> ServeReport:
+              extra: int = 0,
+              policy: Optional[AdaptivePolicy] = None,
+              feedback: Optional[Callable[[FeedbackReport], Any]] = None,
+              report_every: int = 128,
+              **options: Any) -> ServeReport:
         """Pump packets to every subscriber until all could decode.
 
         With ``count=None`` the serve stops once a structural shadow of
         every subscriber is complete (plus ``extra`` more emissions);
         an explicit ``count`` emits exactly that many packets.
+
+        With ``policy=`` the serve closes the loop: every
+        ``report_every`` emissions each shadow receiver's state is
+        encoded as a wire-faithful feedback report (loss from its
+        channel's observed rate), folded into the policy alongside any
+        queued subscription reports, and the policy's block-schedule
+        decision is applied to the live source via ``reweight``.
+        ``feedback`` sees every report either way.
         """
         if options:
             raise ProtocolError(
-                f"memory serve takes count/extra only, got {options}")
+                f"memory serve takes count/extra/policy/feedback only, "
+                f"got {options}")
         if not self.subscriptions:
             raise ProtocolError(
                 "no subscribers: call subscribe() before serve()")
@@ -110,6 +160,10 @@ class MemoryTransport(Transport):
             shadows.append(TransferClient(session.codec, payload_size=None))
         limit = (EMISSION_LIMIT_FACTOR * session.total_k
                  if count is None else count)
+        adaptive = policy is not None or feedback is not None
+        source = getattr(session, "source", session)
+        reweight = getattr(source, "reweight", None)
+        block_ks = session.codec.plan.block_ks
         start = time.perf_counter()
         emitted = delivered = dropped = 0
         extra_left = extra
@@ -126,6 +180,23 @@ class MemoryTransport(Transport):
                         shadow.receive_index(packet.block, packet.index)
                 else:
                     dropped += 1
+            if adaptive and emitted % max(1, report_every) == 0:
+                now = time.perf_counter() - start
+                for i, (sub, shadow) in enumerate(
+                        zip(self.subscriptions, shadows)):
+                    report = FeedbackReport.decode(report_from_client(
+                        shadow, receiver_id=i,
+                        loss=sub.channel.observed_loss_rate,
+                        packets_used=shadow.total_received).encode())
+                    if policy is not None:
+                        policy.observe(report, now=now)
+                    if feedback is not None:
+                        feedback(report)
+                self.drain_feedback(policy, feedback, now=now)
+                if policy is not None and reweight is not None:
+                    decision = policy.decide(block_ks, now=now)
+                    if decision.weights:
+                        reweight(list(decision.weights))
             if count is None and all(s.is_complete for s in shadows):
                 if extra_left <= 0:
                     break

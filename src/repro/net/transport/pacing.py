@@ -60,6 +60,21 @@ class TokenBucket:
                            self._tokens + (now - self._last) * self.rate)
         self._last = now
 
+    def set_rate(self, rate: float) -> None:
+        """Retarget the long-run rate, live (the adaptive-pacing lever).
+
+        The balance is settled at the old rate first, so tokens already
+        earned are kept and any debt keeps its old clearing schedule;
+        only budget accruing *after* the change moves at the new rate.
+        Capacity grows to at least 50 ms of the new rate (it never
+        shrinks, so a rate step down cannot strand earned burst room).
+        """
+        if rate <= 0:
+            raise ParameterError(f"pacing rate must be positive, got {rate}")
+        self._refill()
+        self.rate = float(rate)
+        self.capacity = max(self.capacity, max(1.0, rate / 20.0))
+
     def reserve(self, tokens: float = 1.0) -> float:
         """Spend ``tokens`` now; return the seconds to sleep before sending.
 
@@ -73,8 +88,15 @@ class TokenBucket:
             return 0.0
         return -self._tokens / self.rate
 
-    async def throttle(self, tokens: float = 1.0) -> None:
-        """Async pacing: sleep until ``tokens`` worth of budget is earned."""
+    async def throttle(self, tokens: float = 1.0) -> float:
+        """Async pacing: sleep until ``tokens`` worth of budget is earned.
+
+        Returns the seconds actually slept.  A zero return means the
+        bucket had budget and control never left the caller — a sender
+        that also listens (the feedback path) must then yield to the
+        event loop itself, or incoming datagrams are never read.
+        """
         delay = self.reserve(tokens)
         if delay > 0:
             await asyncio.sleep(delay)
+        return delay

@@ -18,9 +18,21 @@ number of unicast destinations and/or multicast groups, with
 The receiver side is a plain blocking socket behind the
 :class:`~repro.net.transport.base.Subscription` contract — callable
 from any thread, no event loop required — because a fountain receiver
-has no feedback to schedule: it just drinks datagrams until its decoder
-completes.  UDP drops packets the kernel's buffers cannot hold; that is
-simply more erasure, which is the entire point of the codes upstream.
+has no feedback to *schedule*: it just drinks datagrams until its
+decoder completes.  UDP drops packets the kernel's buffers cannot hold;
+that is simply more erasure, which is the entire point of the codes
+upstream.
+
+The control plane runs the same sockets in reverse: the subscription
+remembers the sender's source address and ``send_feedback`` fires
+``FRAME_FEEDBACK`` frames straight back at it, the sender's datagram
+endpoint collects them, and ``serve(policy=...)`` folds each decoded
+:class:`~repro.protocol.feedback.FeedbackReport` into an
+:class:`~repro.protocol.adaptive.AdaptivePolicy` — retargeting the
+token bucket, reweighting the live block schedule, and stopping early
+once every known receiver reports a finished decode.  Feedback frames
+are as unreliable as everything else here; the sender merely becomes
+open-loop again when they stop arriving.
 """
 
 from __future__ import annotations
@@ -33,9 +45,11 @@ import time
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ParameterError, ProtocolError
-from repro.net.loss import BernoulliLoss
+from repro.net.loss import BernoulliLoss, LossModel
 from repro.net.transport.base import (
+    EMISSION_LIMIT_FACTOR,
     FRAME_DATA,
+    FRAME_FEEDBACK,
     FRAME_MANIFEST,
     ServeReport,
     Subscription,
@@ -46,7 +60,9 @@ from repro.net.transport.base import (
 )
 from repro.net.transport.file import record_size
 from repro.net.transport.pacing import TokenBucket
-from repro.utils.rng import ensure_rng
+from repro.protocol.adaptive import AdaptivePolicy
+from repro.protocol.feedback import FeedbackReport
+from repro.utils.rng import ensure_rng, spawn_rng
 
 __all__ = ["UdpTransport", "UdpSubscription", "parse_address",
            "is_multicast"]
@@ -121,6 +137,11 @@ class UdpSubscription(Subscription):
         self._manifest: Optional[dict] = None
         self._pending: List[bytes] = []
         self._closed = False
+        #: source address of the last well-formed datagram — where
+        #: feedback replies go.
+        self._sender: Optional[Address] = None
+        #: feedback frames actually sent back up the control plane.
+        self.feedback_sent = 0
         #: data frames whose framing failed to parse (foreign senders).
         self.malformed = 0
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM,
@@ -162,7 +183,7 @@ class UdpSubscription(Subscription):
         self.socket.settimeout(wait)
         while True:
             try:
-                datagram, _addr = self.socket.recvfrom(65535)
+                datagram, addr = self.socket.recvfrom(65535)
             except socket.timeout:
                 raise ProtocolError(
                     f"no datagrams on {self.address[0]}:"
@@ -179,7 +200,30 @@ class UdpSubscription(Subscription):
             except ProtocolError:
                 self.malformed += 1
                 continue
+            self._sender = addr
             yield from frames
+
+    @property
+    def sender_address(self) -> Optional[Address]:
+        """Source address of the last well-formed datagram, if any."""
+        return self._sender
+
+    def send_feedback(self, report: FeedbackReport) -> bool:
+        """Fire one feedback frame back at the sender's source address.
+
+        Best-effort like everything on this transport: False (not an
+        error) before any datagram has revealed the sender, or when the
+        socket refuses the send.
+        """
+        if self._sender is None or self._closed:
+            return False
+        frame = pack_frame(FRAME_FEEDBACK, report.encode())
+        try:
+            self.socket.sendto(frame, self._sender)
+        except OSError:
+            return False
+        self.feedback_sent += 1
+        return True
 
     def _learn_manifest(self, body: bytes) -> bool:
         """Adopt a manifest frame's body; False (and counted) if bogus."""
@@ -240,13 +284,16 @@ class UdpSubscription(Subscription):
                     continue
                 yield body
 
-    def _collect(self, datagram: bytes, batch: List[bytes]) -> None:
+    def _collect(self, datagram: bytes, batch: List[bytes],
+                 addr: Optional[Address] = None) -> None:
         """Parse one datagram's frames into ``batch`` (data bodies only)."""
         try:
             frames = list(iter_frames(datagram))
         except ProtocolError:
             self.malformed += 1
             return
+        if addr is not None:
+            self._sender = addr
         for frame_type, body in frames:
             if frame_type == FRAME_MANIFEST:
                 self._learn_manifest(body)
@@ -283,7 +330,7 @@ class UdpSubscription(Subscription):
             batch = []
             self.socket.settimeout(wait)
             try:
-                datagram, _addr = self.socket.recvfrom(65535)
+                datagram, addr = self.socket.recvfrom(65535)
             except socket.timeout:
                 raise ProtocolError(
                     f"no datagrams on {self.address[0]}:"
@@ -293,19 +340,19 @@ class UdpSubscription(Subscription):
                 if self._closed:
                     return
                 raise
-            self._collect(datagram, batch)
+            self._collect(datagram, batch, addr)
             # Drain whatever else already sits in the kernel queue.
             self.socket.settimeout(0.0)
             while True:
                 try:
-                    datagram, _addr = self.socket.recvfrom(65535)
+                    datagram, addr = self.socket.recvfrom(65535)
                 except (BlockingIOError, socket.timeout):
                     break
                 except OSError:
                     if self._closed:
                         break
                     raise
-                self._collect(datagram, batch)
+                self._collect(datagram, batch, addr)
             if batch:
                 yield batch
             if self._closed:
@@ -313,11 +360,20 @@ class UdpSubscription(Subscription):
 
 
 class _SenderProtocol(asyncio.DatagramProtocol):
-    """Fire-and-forget sender; counts (but survives) socket errors."""
+    """Fire-and-forget sender; counts (but survives) socket errors.
+
+    Also the sender's ear: receivers fire ``FRAME_FEEDBACK`` datagrams
+    back at this endpoint's source port, and the bodies queue here for
+    the serve loop to decode between sends.
+    """
 
     def __init__(self) -> None:
         self.errors = 0
         self.last_error: Optional[Exception] = None
+        #: undecoded feedback frame bodies, arrival order.
+        self.feedback: List[bytes] = []
+        #: datagrams that were not well-formed feedback (stray chatter).
+        self.malformed = 0
 
     def error_received(self, exc: Exception) -> None:
         # ICMP port-unreachable chatter is normal when a unicast
@@ -325,6 +381,46 @@ class _SenderProtocol(asyncio.DatagramProtocol):
         # count is reported so operators can see a dead destination.
         self.errors += 1
         self.last_error = exc
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        try:
+            frames = list(iter_frames(data))
+        except ProtocolError:
+            self.malformed += 1
+            return
+        for frame_type, body in frames:
+            if frame_type == FRAME_FEEDBACK:
+                self.feedback.append(body)
+            else:
+                self.malformed += 1
+
+
+class _LossStream:
+    """Stateful per-destination loss draws from any loss model.
+
+    Models like Gilbert-Elliott re-draw their hidden state from
+    stationarity on every ``losses`` call, so asking for one packet at
+    a time would flatten the bursts back into Bernoulli.  Drawing in
+    chunks keeps the burst structure (mean bursts are far shorter than
+    a chunk) while the serve loop still consumes one verdict per
+    packet.
+    """
+
+    _CHUNK = 512
+
+    def __init__(self, model: LossModel, rng: Any):
+        self.model = model
+        self.rng = rng
+        self._mask: Any = None
+        self._pos = 0
+
+    def lost(self) -> bool:
+        if self._mask is None or self._pos >= len(self._mask):
+            self._mask = self.model.losses(self._CHUNK, self.rng)
+            self._pos = 0
+        verdict = bool(self._mask[self._pos])
+        self._pos += 1
+        return verdict
 
 
 @register_transport
@@ -345,6 +441,11 @@ class UdpTransport(Transport):
         Injected Bernoulli loss probability, applied independently per
         packet per destination *before* the socket — test-channel
         erasure with real-socket delivery.
+    loss_model:
+        Any :class:`~repro.net.loss.LossModel` for the injected loss
+        instead of the Bernoulli shorthand — e.g. ``GilbertElliottLoss``
+        for bursty-channel acceptance runs.  Each destination gets an
+        independent stateful draw stream.  Overrides ``loss``.
     seed:
         RNG seed for the injected loss (``None`` draws fresh entropy).
     manifest_interval:
@@ -362,6 +463,7 @@ class UdpTransport(Transport):
                  bind: Optional[Union[str, Address]] = None,
                  pace: Optional[float] = None,
                  loss: float = 0.0,
+                 loss_model: Optional[LossModel] = None,
                  seed: Optional[int] = None,
                  manifest_interval: int = 64,
                  interface: str = "127.0.0.1",
@@ -372,6 +474,7 @@ class UdpTransport(Transport):
         self.bind = None if bind is None else parse_address(bind)
         self.pace = pace
         self.loss = float(loss)
+        self.loss_model = loss_model
         self.seed = seed
         self.manifest_interval = int(manifest_interval)
         if self.manifest_interval < 1:
@@ -405,18 +508,50 @@ class UdpTransport(Transport):
         """Synchronous wrapper: run :meth:`serve_async` to completion."""
         return asyncio.run(self.serve_async(session, count=count, **options))
 
+    def _loss_streams(self) -> Optional[List[_LossStream]]:
+        """One independent stateful loss stream per destination."""
+        model = self.loss_model
+        if model is None and self.loss > 0:
+            model = BernoulliLoss(self.loss)
+        if model is None:
+            return None
+        return [_LossStream(model,
+                            ensure_rng(None) if self.seed is None
+                            else spawn_rng(self.seed, i))
+                for i in range(len(self.destinations))]
+
     async def serve_async(self, session: Any, *,
                           count: Optional[int] = None,
                           duration: Optional[float] = None,
-                          stop: Any = None) -> ServeReport:
+                          stop: Any = None,
+                          policy: Optional[AdaptivePolicy] = None,
+                          feedback: Optional[
+                              Callable[[FeedbackReport], Any]] = None,
+                          adapt_every: int = 64) -> ServeReport:
         """Pump the session's stream into the sockets.
 
         Runs until ``count`` emissions, ``duration`` seconds, or the
         ``stop`` flag (callable or Event) — whichever comes first; with
         none given it serves forever, which is exactly what a fountain
         server does (interrupt it to stop).
+
+        With ``policy=`` the endpoint listens for ``FRAME_FEEDBACK``
+        replies, folds every report into the policy, and every
+        ``adapt_every`` emissions applies its decision: the token
+        bucket retargets to ``pace * rate_scale``, lagging blocks get
+        heavier schedule weight (via the source's ``reweight``), and
+        the serve stops as soon as every known receiver reports a
+        complete decode — the closed-loop path that lets an adaptive
+        sender quit while an open-loop one is still provisioning for
+        the worst case.  An adaptive serve with no explicit bound is
+        additionally capped at the emission-budget limit so a fade that
+        swallows all feedback cannot spin it forever.  ``feedback``
+        (a callable) observes every decoded report.
         """
         should_stop = _stop_check(stop)
+        adaptive = policy is not None
+        if adaptive and count is None:
+            count = EMISSION_LIMIT_FACTOR * session.total_k
         loop = asyncio.get_running_loop()
         transport, protocol = await loop.create_datagram_endpoint(
             _SenderProtocol,
@@ -430,14 +565,18 @@ class UdpTransport(Transport):
             sock.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_IF,
                             socket.inet_aton(self.interface))
         bucket = None if self.pace is None else TokenBucket(self.pace)
-        loss_model = None if self.loss <= 0 else BernoulliLoss(self.loss)
-        rng = ensure_rng(self.seed)
+        streams = self._loss_streams()
+        source = getattr(session, "source", session)
+        reweight = getattr(source, "reweight", None)
+        codec = getattr(session, "codec", None)
+        block_ks = codec.plan.block_ks if codec is not None else [1]
         manifest_frame = pack_frame(
             FRAME_MANIFEST,
             json.dumps(session.manifest()).encode("utf-8"))
         start = time.perf_counter()
         deadline = None if duration is None else start + float(duration)
         emitted = delivered = dropped = manifest_frames = 0
+        feedback_frames = 0
         try:
             for packet in session.packets(count):
                 if should_stop():
@@ -445,18 +584,44 @@ class UdpTransport(Transport):
                 if (deadline is not None
                         and time.perf_counter() >= deadline):
                     break
+                slept = 0.0
                 if bucket is not None:
-                    await bucket.throttle()
-                elif emitted % _YIELD_EVERY == 0:
+                    slept = await bucket.throttle()
+                if slept == 0.0 and emitted % _YIELD_EVERY == 0:
+                    # A CPU-bound serve below the pace rate never runs
+                    # the bucket dry; yield anyway so the event loop
+                    # polls the socket and feedback frames get read.
                     await asyncio.sleep(0)
+                if protocol.feedback and (adaptive or feedback is not None):
+                    now = time.perf_counter() - start
+                    while protocol.feedback:
+                        body = protocol.feedback.pop(0)
+                        try:
+                            report = FeedbackReport.decode(body)
+                        except ProtocolError:
+                            protocol.malformed += 1
+                            continue
+                        feedback_frames += 1
+                        if policy is not None:
+                            policy.observe(report, now=now)
+                        if feedback is not None:
+                            feedback(report)
+                if adaptive and emitted and emitted % adapt_every == 0:
+                    now = time.perf_counter() - start
+                    decision = policy.decide(block_ks, now=now)
+                    if decision.all_complete:
+                        break
+                    if bucket is not None and self.pace is not None:
+                        bucket.set_rate(self.pace * decision.rate_scale)
+                    if decision.weights and reweight is not None:
+                        reweight(list(decision.weights))
                 if emitted % self.manifest_interval == 0:
                     for dest in self.destinations:
                         transport.sendto(manifest_frame, dest)
                     manifest_frames += 1
                 frame = pack_frame(FRAME_DATA, packet.to_bytes())
-                for dest in self.destinations:
-                    if (loss_model is not None
-                            and bool(loss_model.losses(1, rng)[0])):
+                for di, dest in enumerate(self.destinations):
+                    if streams is not None and streams[di].lost():
                         dropped += 1
                         continue
                     transport.sendto(frame, dest)
@@ -479,4 +644,5 @@ class UdpTransport(Transport):
             destinations=len(self.destinations),
             manifest_frames=manifest_frames,
             socket_errors=protocol.errors,
+            feedback_frames=feedback_frames,
         )

@@ -11,6 +11,14 @@
 * :mod:`repro.protocol.server` / :mod:`repro.protocol.receiver` /
   :mod:`repro.protocol.session` — the end-to-end prototype simulation
   behind Figure 8.
+
+Beyond the paper, the feedback control plane (ROADMAP's channel-aware
+delivery):
+
+* :mod:`repro.protocol.feedback` — the compact receiver→sender
+  :class:`FeedbackReport` wire frame and serial-gap loss estimation.
+* :mod:`repro.protocol.adaptive` — :class:`AdaptivePolicy`, aggregating
+  reports into rate / block-schedule / code-spec retuning decisions.
 """
 
 from repro.protocol.layering import LayerConfig
@@ -21,6 +29,12 @@ from repro.protocol.schedule import (
     one_level_stream,
 )
 from repro.protocol.congestion import CongestionPolicy, SubscriptionController
+from repro.protocol.feedback import (
+    FeedbackReport,
+    LossEstimator,
+    report_from_client,
+)
+from repro.protocol.adaptive import AdaptivePolicy, PolicyDecision
 from repro.protocol.server import LayeredServer
 from repro.protocol.stream import LayeredPacketSource, layered_packet_source
 from repro.protocol.receiver import LayeredReceiver
@@ -34,6 +48,11 @@ __all__ = [
     "one_level_stream",
     "CongestionPolicy",
     "SubscriptionController",
+    "FeedbackReport",
+    "LossEstimator",
+    "report_from_client",
+    "AdaptivePolicy",
+    "PolicyDecision",
     "LayeredServer",
     "LayeredPacketSource",
     "layered_packet_source",

@@ -70,6 +70,7 @@ from repro.codes.registry import REGISTRY, block_seed
 from repro.errors import ParameterError, ProtocolError
 from repro.net.loss import BernoulliLoss, GilbertElliottLoss, LossModel, TraceLoss
 from repro.net.traces import MBONE_MEAN_BURST, synthesize_mbone_traces
+from repro.protocol.adaptive import AdaptivePolicy
 from repro.protocol.layering import LayerConfig
 from repro.transfer.blocks import BlockPlan
 from repro.transfer.client import TransferClient
@@ -78,6 +79,7 @@ from repro.transfer.schedule import SCHEDULES, make_schedule
 from repro.utils.rng import spawn_rng
 
 __all__ = [
+    "LOSS_PRESETS",
     "LossSpec",
     "ReceiverGroup",
     "Scenario",
@@ -108,6 +110,23 @@ _LOSS_KINDS: Dict[str, Dict[str, Any]] = {
 }
 
 _KIND_CODES = {"bernoulli": 0, "gilbert": 1, "trace": 2}
+
+#: named wireless loss presets, usable anywhere a loss spec goes
+#: (``LossSpec.preset(name)``, a bare string in scenario JSON, or the
+#: CLI's ``--loss-preset``).  Parameter regimes follow the GPRS channel
+#: measurements of Usman & Dunlop — slow pedestrian fading shows rarer
+#: but much longer loss bursts than vehicular speeds, where fast fading
+#: decorrelates the channel — plus an office wireless-LAN testbed regime
+#: with deep shadowing outages.  Ranges spread receivers across the
+#: regime rather than cloning one channel.
+LOSS_PRESETS: Dict[str, Dict[str, Any]] = {
+    "gprs-pedestrian": {
+        "kind": "gilbert", "rate": [0.02, 0.08], "burst": [8.0, 24.0]},
+    "gprs-vehicular": {
+        "kind": "gilbert", "rate": [0.05, 0.15], "burst": [3.0, 9.0]},
+    "wireless-testbed": {
+        "kind": "gilbert", "rate": [0.10, 0.30], "burst": [10.0, 40.0]},
+}
 
 
 def _as_range(value: Any, name: str) -> Range:
@@ -204,12 +223,24 @@ class LossSpec:
         return cls(kind, tuple(sorted(params.items())))
 
     @classmethod
+    def preset(cls, name: str) -> "LossSpec":
+        """A named wireless channel preset from :data:`LOSS_PRESETS`."""
+        if name not in LOSS_PRESETS:
+            raise ParameterError(
+                f"unknown loss preset {name!r}; choose from "
+                f"{sorted(LOSS_PRESETS)}")
+        return cls.from_dict(dict(LOSS_PRESETS[name]))
+
+    @classmethod
     def from_dict(cls, data: Any) -> "LossSpec":
         if isinstance(data, LossSpec):
             return data
+        if isinstance(data, str):
+            return cls.preset(data)
         if not isinstance(data, dict) or "kind" not in data:
             raise ParameterError(
-                f"loss spec must be a dict with a 'kind' key, got {data!r}")
+                f"loss spec must be a dict with a 'kind' key, a preset "
+                f"name, or a LossSpec, got {data!r}")
         params = {k: v for k, v in data.items() if k != "kind"}
         return cls.make(data["kind"], **params)
 
@@ -411,6 +442,18 @@ class Scenario:
                   for g in self.groups]
         groups = tuple(dataclasses.replace(g, count=c)
                        for g, c in zip(self.groups, counts))
+        return dataclasses.replace(self, groups=groups)
+
+    def with_loss(self, loss: Any) -> "Scenario":
+        """The same scenario with every group's loss process replaced.
+
+        ``loss`` is a :class:`LossSpec`, its dict form, or a preset
+        name from :data:`LOSS_PRESETS` — the handle behind
+        ``repro swarm run --loss-preset``.
+        """
+        spec = LossSpec.from_dict(loss)
+        groups = tuple(dataclasses.replace(g, loss=spec)
+                       for g in self.groups)
         return dataclasses.replace(self, groups=groups)
 
     # -- JSON round-trip -------------------------------------------------------
@@ -814,6 +857,130 @@ def _run_rows(scenario: Scenario, pop: _Population, thresholds: np.ndarray,
             "done_slot": done_slot, "completed": completed}
 
 
+def _run_rows_closed(scenario: Scenario, pop: _Population,
+                     thresholds: np.ndarray, k_b: np.ndarray,
+                     n_b: np.ndarray, rateless: bool, chunk_tag: int,
+                     policy: AdaptivePolicy) -> Dict[str, np.ndarray]:
+    """Closed-loop sweep engine: the sender reallocates every sweep.
+
+    The open-loop engine (:func:`_run_rows`) deals each sweep's
+    ``total_k`` slots proportionally — block ``b`` always gets ``k_b``.
+    Here the sweep is the feedback epoch: the population's per-block
+    packet deficits from the *previous* sweep's decode state (one sweep
+    of reporting delay included) are summed and fed to
+    ``policy.block_shares`` — the same pure lever a live adaptive serve
+    applies through ``TransferServer.reweight`` — which turns them into
+    this sweep's per-block slot shares.  A single wire
+    :class:`~repro.protocol.feedback.FeedbackReport` names only a
+    receiver's :data:`~repro.protocol.feedback.MAX_LAGGING_BLOCKS`
+    worst blocks, but a receiver files many reports per epoch and the
+    named set rotates as deficits shrink, so the epoch aggregate a real
+    sender accumulates approximates the full deficit vector — which is
+    what this vectorized step sums directly.
+
+    The per-sweep slot budget is untouched (still ``active * total_k``
+    per receiver), so adaptive vs open-loop comparisons are
+    packet-for-packet fair: only *where* slots go changes.  Because the
+    allocation is no longer proportional, the carousel duplicate
+    correction tracks the actual cumulative per-block offered slots
+    instead of ``active_sweeps * k_b``.  Single-process by design — the
+    policy step needs the whole population's deficits each sweep.
+    """
+    total_k = int(k_b.sum())
+    count = pop.size
+    rng = np.random.default_rng(
+        [int(scenario.seed) & 0x7FFFFFFF, 0xC0DE, int(chunk_tag)])
+    overhead = np.full(count, np.nan)
+    received = np.zeros(count)
+    done_slot = np.full(count, np.inf)
+    completed = np.zeros(count, dtype=bool)
+
+    rows = np.arange(count)
+    deliveries = np.zeros((count, k_b.size))
+    prev_distinct = np.zeros((count, k_b.size))
+    offered = np.zeros((count, k_b.size))
+    q_bernoulli = (1.0 - pop.loss_rate) * pop.rate
+    gil_alpha, gil_beta = _gilbert_beta_params(
+        pop, np.arange(count), total_k)
+    cumsums = [np.concatenate(([0], np.cumsum(t, dtype=np.int64)))
+               for t in pop.traces]
+    burst_len = np.ones(count)
+    gil_rows = pop.kind == _KIND_CODES["gilbert"]
+    burst_len[gil_rows] = 1.0 / np.maximum(pop.p_bg[gil_rows], 1e-9)
+    burst_len[pop.kind == _KIND_CODES["trace"]] = MBONE_MEAN_BURST
+
+    for sweep in range(scenario.max_sweeps):
+        if rows.size == 0:
+            break
+        # -- the policy step: previous sweep's deficits -> slot shares.
+        lag = np.maximum(thresholds[rows] - prev_distinct, 0.0)
+        shares = np.asarray(policy.block_shares(
+            lag.sum(axis=0).tolist(), k_b.tolist()))
+        alloc = shares * total_k
+
+        w0 = sweep * total_k
+        active = np.clip(
+            (np.minimum(pop.leave[rows], w0 + total_k)
+             - np.maximum(pop.join[rows], w0)) / total_k, 0.0, 1.0)
+        q = q_bernoulli[rows].copy()
+        gil = pop.kind[rows] == _KIND_CODES["gilbert"]
+        if gil.any():
+            g = rows[gil]
+            q[gil] = rng.beta(gil_alpha[g], gil_beta[g]) * pop.rate[g]
+        tra = pop.kind[rows] == _KIND_CODES["trace"]
+        if tra.any():
+            t = rows[tra]
+            losses = _trace_window_losses(
+                cumsums, pop.trace_id[t], pop.trace_offset[t] + w0, total_k)
+            q[tra] = (1.0 - losses / total_k) * pop.rate[t]
+        trials = np.rint(active[:, None] * alloc[None, :]).astype(np.int64)
+        q_col = np.clip(q, 0.0, 1.0)[:, None]
+        draws = rng.binomial(trials, q_col)
+        bursty = burst_len[rows] > 1.0
+        if bursty.any():
+            t_b = trials[bursty]
+            q_b = q_col[bursty]
+            var = t_b * q_b * (1.0 - q_b) / burst_len[rows][bursty, None]
+            noisy = np.rint(t_b * q_b
+                            + rng.standard_normal(t_b.shape) * np.sqrt(var))
+            draws[bursty] = np.clip(noisy, 0, t_b).astype(draws.dtype)
+        deliveries += draws
+        offered += active[:, None] * alloc[None, :]
+        if rateless:
+            distinct = deliveries
+        else:
+            revs = offered / n_b[None, :]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                q_hat = np.where(offered > 0, deliveries / offered, 0.0)
+                corrected = n_b[None, :] * -np.expm1(
+                    revs * np.log1p(-np.minimum(q_hat, 1.0 - 1e-12)))
+            distinct = np.where(revs > 1.0, corrected, deliveries)
+        done = distinct >= thresholds[rows]
+        newly = done.all(axis=1)
+        if newly.any():
+            idx = np.nonzero(newly)[0]
+            gained = np.maximum(distinct[idx] - prev_distinct[idx], 1e-12)
+            frac = np.where(prev_distinct[idx] < thresholds[rows[idx]],
+                            (thresholds[rows[idx]] - prev_distinct[idx])
+                            / gained, 0.0)
+            fraction = np.clip(frac.max(axis=1), 0.0, 1.0)
+            before = (deliveries[idx] - draws[idx]).sum(axis=1)
+            got = before + fraction * draws[idx].sum(axis=1)
+            out = rows[idx]
+            received[out] = got
+            overhead[out] = got / total_k - 1.0
+            done_slot[out] = (sweep + fraction) * total_k
+            completed[out] = True
+            keep = ~newly
+            rows = rows[keep]
+            deliveries = deliveries[keep]
+            offered = offered[keep]
+            distinct = distinct[keep]
+        prev_distinct = distinct.copy()
+    return {"overhead": overhead, "received": received,
+            "done_slot": done_slot, "completed": completed}
+
+
 def _simulate_chunk(payload: Tuple) -> Dict[str, np.ndarray]:
     """Top-level worker entry point (must be picklable)."""
     scenario_dict, pop, thresholds, k_b, n_b, rateless, tag = payload
@@ -1122,7 +1289,8 @@ class SwarmSimulator:
 
     def run(self, workers: Optional[int] = None,
             spot_check: int = 0,
-            spot_check_tolerance: float = 0.05) -> SwarmResult:
+            spot_check_tolerance: float = 0.05,
+            policy: Optional[AdaptivePolicy] = None) -> SwarmResult:
         """Simulate the whole population.
 
         ``workers`` > 1 fans receiver ranges out over a process pool
@@ -1131,12 +1299,30 @@ class SwarmSimulator:
         ``spot_check`` replays that many sampled receivers through the
         exact transfer client and attaches a :class:`SpotCheckResult`
         whose default ``agrees()`` bar is ``spot_check_tolerance``.
+
+        ``policy`` switches the engine to the closed loop
+        (:func:`_run_rows_closed`): each sweep the population's
+        aggregated block deficits drive the policy's schedule lever.
+        The closed loop is single-process (the policy must see every
+        receiver's deficits) and has no exact-replay counterpart, so it
+        rejects ``workers`` > 1 and ``spot_check``.
         """
         start = time.perf_counter()
         scenario = self.scenario
         pop = _materialize(scenario)
         k_b, n_b, thresholds, rateless = self._thresholds(pop)
-        if workers is not None and workers > 1:
+        if policy is not None:
+            if workers is not None and workers > 1:
+                raise ParameterError(
+                    "closed-loop runs are single-process: the policy "
+                    "aggregates the whole population every sweep")
+            if spot_check > 0:
+                raise ParameterError(
+                    "spot_check replays the open-loop schedule and "
+                    "cannot validate a closed-loop run")
+            merged = _run_rows_closed(scenario, pop, thresholds, k_b,
+                                      n_b, rateless, 0, policy)
+        elif workers is not None and workers > 1:
             chunks = self._chunk_ranges(pop.size, workers)
             payloads = [(scenario.to_dict(), pop.rows(lo, hi),
                          thresholds[lo:hi], k_b, n_b, rateless, lo)
@@ -1186,13 +1372,16 @@ class SwarmSimulator:
 def run_scenario(scenario: Union[Scenario, str, pathlib.Path],
                  workers: Optional[int] = None,
                  spot_check: int = 0,
-                 receivers: Optional[int] = None) -> SwarmResult:
+                 receivers: Optional[int] = None,
+                 policy: Optional[AdaptivePolicy] = None) -> SwarmResult:
     """One-call swarm run: scenario object or JSON file path in,
     :class:`SwarmResult` out.  ``receivers`` rescales the population
-    proportionally (quick smoke runs of committed scenarios)."""
+    proportionally (quick smoke runs of committed scenarios);
+    ``policy`` runs the closed loop instead of the open one."""
     if not isinstance(scenario, Scenario):
         scenario = Scenario.load(scenario)
     if receivers is not None:
         scenario = scenario.scaled(receivers)
     return SwarmSimulator(scenario).run(workers=workers,
-                                        spot_check=spot_check)
+                                        spot_check=spot_check,
+                                        policy=policy)

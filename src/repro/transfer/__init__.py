@@ -39,6 +39,7 @@ from repro.transfer.schedule import (
     interleaved_slots,
     make_schedule,
     sequential_slots,
+    weighted_slots,
 )
 from repro.transfer.server import TransferServer
 from repro.transfer.client import TransferClient
@@ -47,22 +48,12 @@ __all__ = [
     "BlockPlan",
     "BlockSpec",
     "ObjectCodec",
-    "CODE_FAMILIES",
-    "RATELESS_FAMILIES",
     "block_seed",
     "SCHEDULES",
     "interleaved_slots",
     "sequential_slots",
     "make_schedule",
+    "weighted_slots",
     "TransferServer",
     "TransferClient",
 ]
-
-
-def __getattr__(name):
-    # Deprecated aliases live in (and warn from) the codec module.
-    if name in ("CODE_FAMILIES", "RATELESS_FAMILIES"):
-        from repro.transfer import codec
-
-        return getattr(codec, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

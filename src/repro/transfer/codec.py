@@ -32,8 +32,7 @@ block geometry, canonical code spec, seed).
 
 from __future__ import annotations
 
-import warnings
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
@@ -41,36 +40,7 @@ from repro.codes.registry import REGISTRY, CodeSpec, block_seed
 from repro.errors import ParameterError, ProtocolError
 from repro.transfer.blocks import BlockPlan
 
-__all__ = ["ObjectCodec", "block_seed", "CODE_FAMILIES",
-           "RATELESS_FAMILIES"]
-
-
-def _registry_factory(name: str) -> Callable[[int, int], Any]:
-    def build(k: int, seed: int) -> Any:
-        return REGISTRY.build(name, k, seed=seed)
-
-    return build
-
-
-def __getattr__(name: str) -> Any:
-    # Deprecated pre-registry aliases, kept importable but loud.  Both
-    # are derived from the live registry on access, so late-registered
-    # families (raptor included) appear without any per-surface code.
-    if name == "CODE_FAMILIES":
-        warnings.warn(
-            "CODE_FAMILIES is deprecated; use "
-            "repro.codes.registry.build_code(spec, k, seed=...) instead",
-            DeprecationWarning, stacklevel=2)
-        return {family: _registry_factory(family)
-                for family in REGISTRY.names()}
-    if name == "RATELESS_FAMILIES":
-        warnings.warn(
-            "RATELESS_FAMILIES is deprecated; use "
-            "repro.codes.registry.REGISTRY.is_rateless(spec) instead",
-            DeprecationWarning, stacklevel=2)
-        return frozenset(
-            family.name for family in REGISTRY if family.rateless)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+__all__ = ["ObjectCodec", "block_seed"]
 
 
 class ObjectCodec:
@@ -86,24 +56,13 @@ class ObjectCodec:
         or ``"lt:c=0.05,delta=0.5"``.
     seed:
         Shared transfer seed; block ``b`` uses ``block_seed(seed, b)``.
-    family:
-        Deprecated alias of ``code`` (kept so pre-registry callers keep
-        working).
     """
 
     def __init__(self, plan: BlockPlan,
                  code: Union[str, CodeSpec, None] = None,
-                 seed: int = 2024, *,
-                 family: Union[str, CodeSpec, None] = None):
-        if code is not None and family is not None:
-            raise ParameterError("pass either code= or family=, not both")
-        if family is not None:
-            warnings.warn(
-                "ObjectCodec(family=...) is deprecated; pass the registry "
-                "spec string via code= instead",
-                DeprecationWarning, stacklevel=2)
+                 seed: int = 2024):
         if code is None:
-            code = family if family is not None else "tornado-b"
+            code = "tornado-b"
         self.spec = REGISTRY.spec(code)
         self.plan = plan
         self.seed = int(seed)

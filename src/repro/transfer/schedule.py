@@ -60,6 +60,38 @@ def interleaved_slots(block_ks: Sequence[int]) -> Iterator[int]:
     return slots()
 
 
+def weighted_slots(block_ks: Sequence[int],
+                   weights: Sequence[float]) -> Iterator[int]:
+    """Deficit round-robin with per-block weight multipliers.
+
+    The adaptive-sender generalisation of :func:`interleaved_slots`:
+    block ``b`` owns a ``k_b * w_b`` share of the stream, so a policy
+    chasing lagging blocks hands in weights above 1 for the laggards
+    and the schedule concentrates slots there while every block keeps
+    making progress.  ``weights`` of all ones is exactly the
+    proportional stripe.
+    """
+    _check_weights(block_ks)
+    if len(weights) != len(block_ks):
+        raise ParameterError(
+            f"{len(weights)} weights for {len(block_ks)} blocks")
+    if any(w <= 0 for w in weights):
+        raise ParameterError("every schedule weight must be positive")
+    shares = [k * w for k, w in zip(block_ks, weights)]
+
+    def slots() -> Iterator[int]:
+        emitted = [0] * len(shares)
+        heap = [(1.0 / s, b) for b, s in enumerate(shares)]
+        heapq.heapify(heap)
+        while True:
+            _, b = heapq.heappop(heap)
+            yield b
+            emitted[b] += 1
+            heapq.heappush(heap, ((emitted[b] + 1) / shares[b], b))
+
+    return slots()
+
+
 def sequential_slots(block_ks: Sequence[int]) -> Iterator[int]:
     """One block at a time: ``k_b`` consecutive slots per visit, cycling."""
     _check_weights(block_ks)

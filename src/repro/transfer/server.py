@@ -41,7 +41,7 @@ from repro.fountain.source import (
 )
 from repro.codes.registry import block_seed
 from repro.transfer.codec import ObjectCodec
-from repro.transfer.schedule import make_schedule
+from repro.transfer.schedule import make_schedule, weighted_slots
 
 
 class TransferServer(SequencedPacketSource):
@@ -127,6 +127,22 @@ class TransferServer(SequencedPacketSource):
 
     def _next_packet(self) -> EncodingPacket:
         return next(self._streams[next(self._slots)])
+
+    def reweight(self, weights: Optional[List[float]]) -> None:
+        """Swap the cross-block schedule for a weighted stripe, live.
+
+        The adaptive sender's schedule lever: only the slot cursor
+        changes — the per-block sources, their carousel positions, the
+        header sequencer, and the encode-once payload cache (shared
+        with every ``fork()``) are all untouched, so reweighting is
+        safe mid-stream and invisible to receivers beyond the block
+        mix.  ``None`` restores the server's configured schedule.
+        """
+        if weights is None:
+            self._slots = make_schedule(self.schedule,
+                                        self.codec.plan.block_ks)
+        else:
+            self._slots = weighted_slots(self.codec.plan.block_ks, weights)
 
     def _rewind(self) -> None:
         for source in self.block_sources:

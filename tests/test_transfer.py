@@ -112,26 +112,23 @@ class TestObjectCodec:
         with pytest.raises(ParameterError):
             ObjectCodec(BlockPlan(100, 10, 4), code="raptorq")
 
-    def test_family_kwarg_deprecated_but_routed(self):
-        """The pre-registry alias still works — loudly — and lands on
-        the same registry spec the modern kwarg does."""
-        with pytest.warns(DeprecationWarning, match="family=.*deprecated"):
-            codec = ObjectCodec(BlockPlan(100, 10, 4), family="raptor")
-        assert codec.code_spec == "raptor"
-        assert codec.is_rateless
+    def test_family_kwarg_removed(self):
+        """The pre-registry alias finished its deprecation cycle: the
+        modern code= kwarg is the only spelling left."""
+        with pytest.raises(TypeError):
+            ObjectCodec(BlockPlan(100, 10, 4), family="raptor")
 
-    def test_family_alias_tables_deprecated_but_live(self):
-        """CODE_FAMILIES / RATELESS_FAMILIES warn on access and reflect
-        the live registry (raptor included, no per-surface code)."""
+    def test_family_alias_tables_removed(self):
+        """CODE_FAMILIES / RATELESS_FAMILIES shims are gone; the
+        registry is the one lookup surface."""
         import repro.transfer as transfer
+        import repro.transfer.codec as codec_module
 
-        with pytest.warns(DeprecationWarning, match="CODE_FAMILIES"):
-            families = transfer.CODE_FAMILIES
-        assert "raptor" in families and "lt" in families
-        assert families["lt"](20, seed=1).k == 20
-        with pytest.warns(DeprecationWarning, match="RATELESS_FAMILIES"):
-            rateless = transfer.RATELESS_FAMILIES
-        assert {"lt", "raptor"} <= rateless
+        for module in (transfer, codec_module):
+            with pytest.raises(AttributeError):
+                module.CODE_FAMILIES
+            with pytest.raises(AttributeError):
+                module.RATELESS_FAMILIES
 
     def test_rateless_has_no_finite_encoding(self):
         codec = ObjectCodec(BlockPlan(1000, 10, 10), code="lt")

@@ -137,6 +137,20 @@ CROSS_CASE_RULES: List[Tuple[str, Tuple[str, str], str, float,
      ("raw-raptor-k128", "encode_MBps_vectorized"), ">=", 0.5,
      ("raw-lt-k128", "encode_MBps_vectorized"),
      "raptor encode fell out of the LT/2 class (cached solve plans)"),
+    # The closed-loop headline: on the identical Gilbert satellite
+    # population (LT-coded, packet-for-packet fair slot budgets), the
+    # feedback-driven adaptive sender's p99 reception overhead must
+    # undercut the open-loop carousel's p99 by at least 15%, on both
+    # codec backends.  Seeded sweeps are deterministic, so the ratio
+    # is exact.
+    ("BENCH_adaptive.json",
+     ("adaptive-gilbert-vectorized", "overhead_p99"), "<=", 0.85,
+     ("openloop-gilbert-vectorized", "overhead_p99"),
+     "adaptive closed loop lost its >=15% p99 win (vectorized backend)"),
+    ("BENCH_adaptive.json",
+     ("adaptive-gilbert-reference", "overhead_p99"), "<=", 0.85,
+     ("openloop-gilbert-reference", "overhead_p99"),
+     "adaptive closed loop lost its >=15% p99 win (reference backend)"),
 ]
 
 
